@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at benchmark-friendly sizes (see DESIGN.md §4 for the per-experiment index
+// and cmd/experiments for the full printed series). Scale inputs with
+// ANYK_BENCH_SCALE (default 1).
+package anyk_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"anyk/internal/bench"
+	"anyk/internal/core"
+	"anyk/internal/dataset"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/join"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+func scale(n int) int {
+	if s := os.Getenv("ANYK_BENCH_SCALE"); s != "" {
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			n = int(float64(n) * f)
+		}
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
+}
+
+// topK enumerates the first k results (k ≤ 0 drains) once.
+func topK(b *testing.B, db *relation.DB, q *query.CQ, alg core.Algorithm, k int) {
+	b.Helper()
+	it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	for k <= 0 || n < k {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		b.Fatal("no results")
+	}
+}
+
+// perAlg runs the closure once per iteration for every any-k algorithm.
+func perAlg(b *testing.B, f func(b *testing.B, alg core.Algorithm)) {
+	b.Helper()
+	for _, alg := range core.Algorithms {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f(b, alg)
+			}
+		})
+	}
+}
+
+// perAlgNoBatch covers the panels where the paper reports Batch as out of
+// memory / timed out: materializing the full output would not fit, so only
+// the streaming algorithms are measured.
+func perAlgNoBatch(b *testing.B, f func(b *testing.B, alg core.Algorithm)) {
+	b.Helper()
+	for _, alg := range core.Algorithms {
+		if alg == core.Batch {
+			continue
+		}
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f(b, alg)
+			}
+		})
+	}
+}
+
+// --- Fig. 5: complexity table validation -------------------------------
+
+func BenchmarkFig5_TTF_Path4(b *testing.B) {
+	for _, n := range []int{scale(1000), scale(4000)} {
+		db := dataset.Uniform(4, n, 42)
+		q := query.PathQuery(4)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 1) })
+		})
+	}
+}
+
+func BenchmarkFig5_Delay_Path4(b *testing.B) {
+	db := dataset.Uniform(4, scale(4000), 42)
+	q := query.PathQuery(4)
+	for _, k := range []int{10, 1000} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, k) })
+		})
+	}
+}
+
+// --- Fig. 9: dataset generation ----------------------------------------
+
+func BenchmarkFig9_Stats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		edges := dataset.BitcoinLike(0.1, 42)
+		s := dataset.GraphStats(edges)
+		if s.Edges == 0 {
+			b.Fatal("no edges")
+		}
+	}
+}
+
+// --- Fig. 10: 4-path / 4-star / 4-cycle panels -------------------------
+
+func BenchmarkFig10_Path4_SyntheticAll(b *testing.B) {
+	db := dataset.Uniform(4, scale(500), 42)
+	q := query.PathQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 0) })
+}
+
+func BenchmarkFig10_Path4_SyntheticTopK(b *testing.B) {
+	n := scale(10000)
+	db := dataset.Uniform(4, n, 42)
+	q := query.PathQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, n/2) })
+}
+
+func BenchmarkFig10_Path4_Bitcoin(b *testing.B) {
+	db := dataset.EdgesToDB(dataset.BitcoinLike(0.1, 42), 4)
+	q := query.PathQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 1000) })
+}
+
+func BenchmarkFig10_Star4_SyntheticAll(b *testing.B) {
+	db := dataset.Uniform(4, scale(500), 42)
+	q := query.StarQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 0) })
+}
+
+func BenchmarkFig10_Star4_SyntheticTopK(b *testing.B) {
+	n := scale(10000)
+	db := dataset.Uniform(4, n, 42)
+	q := query.StarQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, n/2) })
+}
+
+func BenchmarkFig10_Cycle4_WorstCaseAll(b *testing.B) {
+	db := dataset.WorstCaseCycle(4, scale(200), 42)
+	q := query.CycleQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 0) })
+}
+
+func BenchmarkFig10_Cycle4_WorstCaseTopK(b *testing.B) {
+	n := scale(2000)
+	db := dataset.WorstCaseCycle(4, n, 42)
+	q := query.CycleQuery(4)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, n/2) })
+}
+
+// --- Fig. 11/12: 3- and 6-ary paths and stars --------------------------
+
+func BenchmarkFig11_Path3_TopK(b *testing.B) {
+	n := scale(20000)
+	db := dataset.Uniform(3, n, 42)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, query.PathQuery(3), alg, n/2) })
+}
+
+func BenchmarkFig11_Path6_TopK(b *testing.B) {
+	n := scale(5000)
+	db := dataset.Uniform(6, n, 42)
+	perAlgNoBatch(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, query.PathQuery(6), alg, n/2) })
+}
+
+func BenchmarkFig12_Star3_TopK(b *testing.B) {
+	n := scale(20000)
+	db := dataset.Uniform(3, n, 42)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, query.StarQuery(3), alg, n/2) })
+}
+
+func BenchmarkFig12_Star6_TopK(b *testing.B) {
+	n := scale(5000)
+	db := dataset.Uniform(6, n, 42)
+	perAlgNoBatch(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, query.StarQuery(6), alg, n/2) })
+}
+
+// --- Fig. 13: 6-cycles ---------------------------------------------------
+
+func BenchmarkFig13_Cycle6_WorstCase(b *testing.B) {
+	db := dataset.WorstCaseCycle(6, scale(100), 42)
+	q := query.CycleQuery(6)
+	perAlg(b, func(b *testing.B, alg core.Algorithm) { topK(b, db, q, alg, 1000) })
+}
+
+// --- Fig. 14: Batch vs conventional hash-join engine -------------------
+
+func BenchmarkFig14_FullResult(b *testing.B) {
+	type rowCfg struct {
+		name string
+		q    *query.CQ
+		db   *relation.DB
+	}
+	rows := []rowCfg{
+		{"Path4", query.PathQuery(4), dataset.Uniform(4, scale(500), 42)},
+		{"Star4", query.StarQuery(4), dataset.Uniform(4, scale(500), 42)},
+		{"Cycle4", query.CycleQuery(4), dataset.WorstCaseCycle(4, scale(200), 42)},
+	}
+	for _, r := range rows {
+		r := r
+		for _, eng := range []string{"batch", "hashjoin"} {
+			eng := eng
+			b.Run(r.name+"/"+eng, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := bench.BatchFullTime(r.db, r.q, eng); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Fig. 17: NPRR vs any-k TTF on adversarial I1 -----------------------
+
+func BenchmarkFig17_AnyK_TTF_I1(b *testing.B) {
+	db := dataset.I1(scale(1000), 42)
+	q := query.CycleQuery(4)
+	for _, alg := range []core.Algorithm{core.Recursive, core.Lazy} {
+		alg := alg
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topK(b, db, q, alg, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkFig17_NPRR_TTF_I1(b *testing.B) {
+	db := dataset.I1(scale(1000), 42)
+	q := query.CycleQuery(4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bench.NPRRFirst(db, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 19: rank-join sub-optimality on I2 ----------------------------
+
+func BenchmarkFig19_RankJoin_I2(b *testing.B) {
+	db := negate(dataset.I2(scale(200)))
+	q := i2Chain()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := join.RankJoin(db, q, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19_AnyK_I2(b *testing.B) {
+	db := negate(dataset.I2(scale(200)))
+	q := i2Chain()
+	for i := 0; i < b.N; i++ {
+		topK(b, db, q, core.Lazy, 1)
+	}
+}
+
+func i2Chain() *query.CQ {
+	return query.NewCQ("I2chain", nil,
+		query.Atom{Rel: "R1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "R2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "R3", Vars: []string{"c", "c2"}})
+}
+
+func negate(db *relation.DB) *relation.DB {
+	out := relation.NewDB()
+	for _, name := range db.Names() {
+		r := db.Relation(name)
+		nr := relation.New(name, r.Attrs...)
+		for i := range r.Rows {
+			nr.Add(-r.Weights[i], r.Rows[i]...)
+		}
+		out.AddRelation(nr)
+	}
+	return out
+}

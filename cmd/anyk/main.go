@@ -1,0 +1,136 @@
+// Command anyk runs ranked enumeration for the paper's query families over
+// generated datasets and prints the top-k results.
+//
+// Examples:
+//
+//	anyk -query path4 -data uniform -n 10000 -k 5
+//	anyk -query cycle6 -data worstcase -n 500 -k 10 -alg Recursive
+//	anyk -query star3 -data twitter -n 2000 -k 3 -order max
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"anyk/internal/core"
+	"anyk/internal/dataset"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+var (
+	queryFlag   = flag.String("query", "path4", "query: path<l>, star<l>, cycle<l>, cartesian<l>")
+	datalogFlag = flag.String("datalog", "", "Datalog query overriding -query, e.g. 'Q(*) :- R1(x,y), R2(y,z)'; atoms must reference R1..Rn of the generated dataset")
+	dataFlag    = flag.String("data", "uniform", "dataset: uniform, worstcase, bitcoin, twitter")
+	nFlag       = flag.Int("n", 10000, "tuples per relation (uniform/worstcase) or nodes (graphs)")
+	kFlag       = flag.Int("k", 10, "number of ranked results to print (0 = all)")
+	algFlag     = flag.String("alg", "Take2", "algorithm: Take2, Lazy, Eager, All, Recursive, Batch")
+	orderFlag   = flag.String("order", "min", "ranking order: min (ascending sum) or max (descending sum)")
+	seedFlag    = flag.Int64("seed", 1, "random seed")
+	quietFlag   = flag.Bool("quiet", false, "suppress per-result output (timing only)")
+)
+
+func main() {
+	flag.Parse()
+	q, l, err := parseQuery(*queryFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if *datalogFlag != "" {
+		q, err = query.Parse(*datalogFlag)
+		if err != nil {
+			fatal(err)
+		}
+		l = len(q.Atoms)
+	}
+	alg, err := core.ParseAlgorithm(*algFlag)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := buildData(*dataFlag, l, *nFlag, *seedFlag)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
+	start := time.Now()
+	rows, vars, err := run(db, q, alg, *orderFlag, *kFlag)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !*quietFlag {
+		fmt.Printf("%-6s %-12s %s\n", "rank", "weight", strings.Join(vars, " "))
+		for i, r := range rows {
+			vals := make([]string, len(r.Vals))
+			for j, v := range r.Vals {
+				vals[j] = strconv.FormatInt(v, 10)
+			}
+			fmt.Printf("%-6d %-12.2f %s\n", i+1, r.Weight, strings.Join(vals, " "))
+		}
+	}
+	fmt.Printf("%d results in %v (TTF included)\n", len(rows), elapsed)
+}
+
+func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], []string, error) {
+	var d dioid.Dioid[float64]
+	switch order {
+	case "min":
+		d = dioid.Tropical{}
+	case "max":
+		d = dioid.MaxPlus{}
+	default:
+		return nil, nil, fmt.Errorf("unknown order %q", order)
+	}
+	it, err := engine.Enumerate[float64](db, q, d, alg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return it.Drain(k), it.Vars, nil
+}
+
+func parseQuery(s string) (*query.CQ, int, error) {
+	for _, p := range []struct {
+		prefix string
+		build  func(int) *query.CQ
+	}{
+		{"path", query.PathQuery},
+		{"star", query.StarQuery},
+		{"cycle", query.CycleQuery},
+		{"cartesian", query.CartesianQuery},
+	} {
+		if strings.HasPrefix(s, p.prefix) {
+			l, err := strconv.Atoi(strings.TrimPrefix(s, p.prefix))
+			if err != nil || l < 1 {
+				return nil, 0, fmt.Errorf("bad query size in %q", s)
+			}
+			return p.build(l), l, nil
+		}
+	}
+	return nil, 0, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>)", s)
+}
+
+func buildData(kind string, l, n int, seed int64) (*relation.DB, error) {
+	switch kind {
+	case "uniform":
+		return dataset.Uniform(l, n, seed), nil
+	case "worstcase":
+		return dataset.WorstCaseCycle(l, n, seed), nil
+	case "bitcoin":
+		scale := float64(n) / 5881
+		return dataset.EdgesToDB(dataset.BitcoinLike(scale, seed), l), nil
+	case "twitter":
+		return dataset.EdgesToDB(dataset.TwitterLike(n, 10, seed), l), nil
+	}
+	return nil, fmt.Errorf("unknown dataset %q", kind)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anyk:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,22 @@
+// Package anyk is a Go reproduction of "Optimal Algorithms for Ranked
+// Enumeration of Answers to Full Conjunctive Queries" (Tziavelis, Ajwani,
+// Gatterbauer, Riedewald, Yang — VLDB 2020).
+//
+// The library enumerates the answers of full conjunctive queries in the
+// order given by a selective dioid (minimum sum of input-tuple weights, and
+// generalizations), with optimal time-to-first and logarithmic delay:
+//
+//   - internal/engine — public facade: Enumerate(db, query, dioid, algorithm)
+//   - internal/core — the any-k algorithms (Take2, Lazy, Eager, All,
+//     Recursive, Batch) over T-DP state spaces, plus the UT-DP union
+//   - internal/dpgraph — the shared-group DP state space (equi-join encoding)
+//   - internal/decomp — heavy/light simple-cycle decomposition
+//   - internal/join — NPRR generic join, Yannakakis, hash-join and rank-join
+//     baselines
+//   - internal/query, internal/relation, internal/dioid, internal/heapq,
+//     internal/dataset, internal/homom, internal/bench — substrates
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation. bench_test.go in this directory regenerates every
+// figure/table as a Go benchmark; cmd/experiments prints the full series.
+package anyk

@@ -1,0 +1,53 @@
+// Fraud detection on a trust network: cycles of low total trust in a
+// Bitcoin-OTC-like graph are candidate collusion rings. The 4-cycle query is
+// cyclic, so the engine transparently applies the heavy/light simple-cycle
+// decomposition (Section 5.3.1) — TTF O(n^1.5) instead of the Θ(n²) a
+// worst-case-optimal batch join needs — and streams cycles in ascending
+// trust order through the UT-DP union.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"anyk/internal/core"
+	"anyk/internal/dataset"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+)
+
+func main() {
+	edges := dataset.BitcoinLike(0.4, 11)
+	stats := dataset.GraphStats(edges)
+	fmt.Printf("trust graph: %d nodes, %d edges (Bitcoin-OTC stand-in)\n", stats.Nodes, stats.Edges)
+
+	for _, l := range []int{4, 6} {
+		db := dataset.EdgesToDB(edges, l)
+		q := query.CycleQuery(l)
+		start := time.Now()
+		it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := it.Drain(3)
+		fmt.Printf("\nlowest-trust %d-cycles (decomposed into %d trees) in %v:\n", l, it.Trees, time.Since(start))
+		if len(rows) == 0 {
+			fmt.Println("  no cycles in this graph")
+			continue
+		}
+		for i, row := range rows {
+			fmt.Printf("  #%d  trust=%.2f  ring=%v\n", i+1, row.Weight, row.Vals)
+		}
+	}
+
+	// The Boolean question "is there any 6-cycle?" costs no more than the
+	// top-ranked answer (Section 6.4).
+	db := dataset.EdgesToDB(edges, 6)
+	exists, err := engine.BooleanQuery(db, query.CycleQuery(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nBoolean 6-cycle query: %v\n", exists)
+}

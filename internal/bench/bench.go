@@ -1,0 +1,263 @@
+// Package bench is the experiment harness that regenerates the paper's
+// figures and tables: it measures TT(k) — the elapsed time until the k-th
+// ranked result — at a set of checkpoints for every any-k algorithm, taking
+// medians over repetitions as in Section 7, and formats the series the way
+// the paper's plots report them.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/join"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Point is one checkpoint measurement: seconds until the K-th result.
+type Point struct {
+	K       int
+	Seconds float64
+}
+
+// Series is one algorithm's TT(k) curve.
+type Series struct {
+	Algorithm string
+	Points    []Point
+	Total     int // results actually produced
+}
+
+// Config describes one panel of a figure.
+type Config struct {
+	Name        string
+	Query       *query.CQ
+	DB          *relation.DB
+	K           int   // stop after K results (0 = drain)
+	Checkpoints []int // k values to record; auto-generated when nil
+	Algorithms  []core.Algorithm
+	Reps        int // medians over Reps runs (default 3)
+	// BatchLimit guards Batch against materializing outputs that do not
+	// fit in memory (the paper's "Batch runs out of memory" cases): when
+	// the counted |out| exceeds it, Batch is reported as DNF. 0 uses the
+	// default of 20M results.
+	BatchLimit float64
+}
+
+// Checkpoints returns a geometric 1-2-5 ladder up to k.
+func Checkpoints(k int) []int {
+	var out []int
+	for base := 1; base <= k; base *= 10 {
+		for _, m := range []int{1, 2, 5} {
+			if v := base * m; v <= k {
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) == 0 || out[len(out)-1] != k {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Run measures every algorithm's TT(k) curve for the panel.
+func Run(cfg Config) ([]Series, error) {
+	algs := cfg.Algorithms
+	if algs == nil {
+		algs = core.Algorithms
+	}
+	reps := cfg.Reps
+	if reps <= 0 {
+		reps = 3
+	}
+	limit := cfg.BatchLimit
+	if limit <= 0 {
+		limit = 20e6
+	}
+	var outSize float64 = -1
+	var out []Series
+	for _, alg := range algs {
+		if alg == core.Batch || alg == core.BatchNoSort {
+			if outSize < 0 {
+				n, err := engine.CountResults(cfg.DB, cfg.Query)
+				if err != nil {
+					return nil, err
+				}
+				outSize = n
+			}
+			if outSize > limit {
+				out = append(out, Series{Algorithm: alg.String() + " DNF(|out|=" + fmt.Sprintf("%.2g", outSize) + ")"})
+				continue
+			}
+		}
+		var runs [][]Point
+		total := 0
+		for rep := 0; rep < reps; rep++ {
+			pts, n, err := runOnce(cfg, alg)
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, pts)
+			total = n
+		}
+		out = append(out, Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total})
+	}
+	return out, nil
+}
+
+func runOnce(cfg Config, alg core.Algorithm) ([]Point, int, error) {
+	checkpoints := cfg.Checkpoints
+	k := cfg.K
+	start := time.Now()
+	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg)
+	if err != nil {
+		return nil, 0, err
+	}
+	var pts []Point
+	ci := 0
+	n := 0
+	for k <= 0 || n < k {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+		if checkpoints != nil {
+			for ci < len(checkpoints) && n == checkpoints[ci] {
+				pts = append(pts, Point{K: n, Seconds: time.Since(start).Seconds()})
+				ci++
+			}
+		}
+	}
+	// final point = TT(last)
+	pts = append(pts, Point{K: n, Seconds: time.Since(start).Seconds()})
+	return pts, n, nil
+}
+
+func medianPoints(runs [][]Point) []Point {
+	if len(runs) == 0 {
+		return nil
+	}
+	n := len(runs[0])
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		var secs []float64
+		for _, r := range runs {
+			if i < len(r) {
+				secs = append(secs, r[i].Seconds)
+			}
+		}
+		sort.Float64s(secs)
+		out[i] = Point{K: runs[0][i].K, Seconds: secs[len(secs)/2]}
+	}
+	return out
+}
+
+// Print renders the series as a fixed-width table: one row per checkpoint,
+// one column per algorithm.
+func Print(w io.Writer, name string, series []Series) {
+	fmt.Fprintf(w, "== %s ==\n", name)
+	if len(series) == 0 {
+		return
+	}
+	width := 14
+	for _, s := range series {
+		if len(s.Algorithm)+2 > width {
+			width = len(s.Algorithm) + 2
+		}
+	}
+	fmt.Fprintf(w, "%-10s", "k")
+	for _, s := range series {
+		fmt.Fprintf(w, "%*s", width, s.Algorithm)
+	}
+	fmt.Fprintln(w)
+	rows := len(series[0].Points)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(w, "%-10d", series[0].Points[i].K)
+		for _, s := range series {
+			if i < len(s.Points) {
+				fmt.Fprintf(w, "%*.4fs", width-1, s.Points[i].Seconds)
+			} else {
+				fmt.Fprintf(w, "%*s", width, "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "(results produced: %d)\n\n", series[0].Total)
+}
+
+// BatchFullTime measures the paper's Fig. 14 quantity: seconds for a batch
+// engine to produce the full (sorted) result. engineName selects "batch"
+// (the paper's Batch: Yannakakis or Generic-Join plus sort), "hashjoin"
+// (the conventional binary hash-join engine standing in for PostgreSQL), or
+// "nprr" (Generic-Join plus sort unconditionally).
+func BatchFullTime(db *relation.DB, q *query.CQ, engineName string) (float64, int, error) {
+	start := time.Now()
+	var n int
+	switch engineName {
+	case "batch":
+		// The paper's Batch: the Yannakakis algorithm for acyclic queries, a
+		// worst-case-optimal join for cyclic ones, both followed by sorting.
+		var rs []join.Result
+		var err error
+		if query.IsAcyclic(q) {
+			rs, err = join.Yannakakis(db, q)
+		} else {
+			rs, err = join.GenericJoin(db, q)
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		join.SortResults(rs)
+		n = len(rs)
+	case "hashjoin":
+		rs, err := join.HashJoinPlan(db, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		join.SortResults(rs)
+		n = len(rs)
+	case "nprr":
+		rs, err := join.GenericJoin(db, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		join.SortResults(rs)
+		n = len(rs)
+	default:
+		return 0, 0, fmt.Errorf("unknown engine %q", engineName)
+	}
+	return time.Since(start).Seconds(), n, nil
+}
+
+// TTFirst measures time-to-first-result for an any-k algorithm.
+func TTFirst(db *relation.DB, q *query.CQ, alg core.Algorithm) (float64, error) {
+	start := time.Now()
+	it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg)
+	if err != nil {
+		return 0, err
+	}
+	it.Next()
+	return time.Since(start).Seconds(), nil
+}
+
+// NPRRFirst measures NPRR's time to the top-ranked result: it must compute
+// the full output and scan for the minimum (Section 9.1.1).
+func NPRRFirst(db *relation.DB, q *query.CQ) (float64, int, error) {
+	start := time.Now()
+	rs, err := join.GenericJoin(db, q)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := -1
+	for i := range rs {
+		if best < 0 || rs[i].Weight < rs[best].Weight {
+			best = i
+		}
+	}
+	return time.Since(start).Seconds(), len(rs), nil
+}

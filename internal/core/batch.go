@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"anyk/internal/dpgraph"
+)
+
+// batchEnum materializes the entire output by backtracking over the reduced
+// state space — this is exactly the join phase of the Yannakakis algorithm,
+// since the bottom-up pass already performed the semi-join reduction — and
+// then (optionally) sorts it with a general comparison sort. It is the
+// paper's Batch / Batch(NoSort) baseline.
+type batchEnum[W any] struct {
+	sols []Solution[W]
+	next int
+}
+
+func newBatch[W any](g *dpgraph.Graph[W], sorted bool) *batchEnum[W] {
+	e := &batchEnum[W]{}
+	if g.Empty() {
+		return e
+	}
+	d := g.D
+	cur := make([]int32, len(g.Stages))
+	for i := range cur {
+		cur[i] = -1
+	}
+	cur[0] = 0
+	serial := g.Serial
+	var rec func(j int, w W)
+	rec = func(j int, w W) {
+		if j == len(serial) {
+			states := append([]int32(nil), cur...)
+			states[0] = -1
+			e.sols = append(e.sols, Solution[W]{States: states, Weight: w})
+			return
+		}
+		si := serial[j]
+		st := g.Stages[si]
+		parentState := cur[st.Parent]
+		gi := g.Stages[st.Parent].States[parentState].Groups[st.Branch]
+		grp := &st.Groups[gi]
+		for _, m := range grp.Members {
+			cur[si] = m
+			rec(j+1, d.Times(w, st.States[m].EffWeight))
+		}
+		cur[si] = -1
+	}
+	rec(0, d.One())
+	if sorted {
+		sort.SliceStable(e.sols, func(a, b int) bool { return d.Less(e.sols[a].Weight, e.sols[b].Weight) })
+	}
+	return e
+}
+
+func (e *batchEnum[W]) Next() (Solution[W], bool) {
+	if e.next >= len(e.sols) {
+		return Solution[W]{}, false
+	}
+	s := e.sols[e.next]
+	e.next++
+	return s, true
+}
+
+// Count enumerates nothing but returns the output size |out| of the reduced
+// graph in O(states) time, by running the counting recurrence bottom-up.
+// Useful to size experiments without materializing results.
+func Count[W any](g *dpgraph.Graph[W]) float64 {
+	if g.Empty() {
+		return 0
+	}
+	counts := make([][]float64, len(g.Stages))
+	for idx := len(g.Stages) - 1; idx >= 0; idx-- {
+		st := g.Stages[idx]
+		counts[idx] = make([]float64, len(st.States))
+		for s := range st.States {
+			c := 1.0
+			dead := false
+			for b, cs := range st.ChildStages {
+				if g.Stages[cs].Pruned {
+					continue
+				}
+				gi := st.States[s].Groups[b]
+				if gi < 0 {
+					dead = true
+					break
+				}
+				sub := 0.0
+				for _, m := range g.Stages[cs].Groups[gi].Members {
+					sub += counts[cs][m]
+				}
+				c *= sub
+			}
+			if dead {
+				c = 0
+			}
+			counts[idx][s] = c
+		}
+	}
+	return counts[0][0]
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"anyk/internal/dioid"
+)
+
+// TestInterleavedEnumeratorsIndependent: several enumerators over one graph
+// must not interfere — all per-enumerator state (choice-set structures,
+// candidate queues, suffix memos) is private; the graph is read-only after
+// BottomUp.
+func TestInterleavedEnumeratorsIndependent(t *testing.T) {
+	r := rand.New(rand.NewSource(301))
+	inputs := randomInputs(r, 4, 12, 3)
+	g := buildGraph(t, dioid.Tropical{}, inputs)
+	ref := drain(New[float64](g, Batch), 1<<30)
+	if len(ref) == 0 {
+		t.Skip("empty instance")
+	}
+	es := []Enumerator[float64]{
+		New[float64](g, Take2),
+		New[float64](g, Take2),
+		New[float64](g, Recursive),
+		New[float64](g, Lazy),
+	}
+	outs := make([][]Solution[float64], len(es))
+	for i := 0; i < len(ref); i++ {
+		for j, e := range es {
+			s, ok := e.Next()
+			if !ok {
+				t.Fatalf("enumerator %d exhausted early at %d", j, i)
+			}
+			outs[j] = append(outs[j], s)
+		}
+	}
+	for j := range es {
+		for i := range ref {
+			if outs[j][i].Weight != ref[i].Weight {
+				t.Fatalf("enumerator %d rank %d: %v want %v", j, i, outs[j][i].Weight, ref[i].Weight)
+			}
+		}
+	}
+}
+
+// TestParallelEnumeratorsOverSharedGraph runs enumerators in goroutines over
+// one shared (read-only) graph under the race detector's eye.
+func TestParallelEnumeratorsOverSharedGraph(t *testing.T) {
+	r := rand.New(rand.NewSource(302))
+	inputs := randomInputs(r, 3, 15, 3)
+	g := buildGraph(t, dioid.Tropical{}, inputs)
+	want := drain(New[float64](g, Batch), 1<<30)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for _, alg := range []Algorithm{Take2, Lazy, Eager, All, Recursive} {
+		alg := alg
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := drain(New[float64](g, alg), 1<<30)
+			if len(got) != len(want) {
+				errs <- alg.String() + ": wrong count"
+				return
+			}
+			for i := range got {
+				if got[i].Weight != want[i].Weight {
+					errs <- alg.String() + ": wrong order"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/heapq"
+)
+
+// Row is an assembled output tuple: values over the output variables, its
+// weight, and the index of the decomposition tree that produced it.
+type Row[W any] struct {
+	Vals   []dpgraph.Value
+	Weight W
+	Tree   int
+}
+
+// RowIter yields output rows in rank order.
+type RowIter[W any] interface {
+	Next() (Row[W], bool)
+}
+
+// graphIter adapts a graph enumerator into a RowIter by assembling rows.
+type graphIter[W any] struct {
+	g    *dpgraph.Graph[W]
+	e    Enumerator[W]
+	tree int
+}
+
+// NewGraphIter wraps enumerator e over g, tagging rows with tree.
+func NewGraphIter[W any](g *dpgraph.Graph[W], e Enumerator[W], tree int) RowIter[W] {
+	return &graphIter[W]{g: g, e: e, tree: tree}
+}
+
+func (it *graphIter[W]) Next() (Row[W], bool) {
+	sol, ok := it.e.Next()
+	if !ok {
+		return Row[W]{}, false
+	}
+	return Row[W]{Vals: it.g.AssembleRow(sol.States, nil), Weight: sol.Weight, Tree: it.tree}, true
+}
+
+// unionIter realizes UT-DP (Section 5.2): a top-level priority queue holds
+// the current head row of every T-DP enumerator; popping a row advances its
+// tree.
+type unionIter[W any] struct {
+	d     dioid.Dioid[W]
+	iters []RowIter[W]
+	pq    *heapq.Heap[Row[W]]
+}
+
+// NewUnion merges several ranked row iterators into one ranked stream.
+func NewUnion[W any](d dioid.Dioid[W], iters ...RowIter[W]) RowIter[W] {
+	u := &unionIter[W]{d: d, iters: iters}
+	heads := make([]Row[W], 0, len(iters))
+	for i, it := range iters {
+		if r, ok := it.Next(); ok {
+			r.Tree = i
+			heads = append(heads, r)
+		}
+	}
+	u.pq = heapq.From(heads, func(a, b Row[W]) bool { return d.Less(a.Weight, b.Weight) })
+	return u
+}
+
+func (u *unionIter[W]) Next() (Row[W], bool) {
+	top, ok := u.pq.Pop()
+	if !ok {
+		return Row[W]{}, false
+	}
+	if r, ok2 := u.iters[top.Tree].Next(); ok2 {
+		r.Tree = top.Tree
+		u.pq.Push(r)
+	}
+	return top, true
+}
+
+// dedupIter drops consecutive rows with identical values. With a
+// tie-breaking dioid (Section 6.3) duplicates produced by overlapping
+// decompositions are guaranteed to arrive consecutively, so this filter
+// restores set semantics with O(#trees) extra delay.
+type dedupIter[W any] struct {
+	in   RowIter[W]
+	prev []dpgraph.Value
+	have bool
+}
+
+// NewDedup wraps it with consecutive-duplicate elimination.
+func NewDedup[W any](it RowIter[W]) RowIter[W] { return &dedupIter[W]{in: it} }
+
+func (d *dedupIter[W]) Next() (Row[W], bool) {
+	for {
+		r, ok := d.in.Next()
+		if !ok {
+			return Row[W]{}, false
+		}
+		if d.have && equalVals(d.prev, r.Vals) {
+			continue
+		}
+		d.have = true
+		d.prev = append(d.prev[:0], r.Vals...)
+		return r, true
+	}
+}
+
+func equalVals(a, b []dpgraph.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// limitIter caps a stream at k rows.
+type limitIter[W any] struct {
+	in RowIter[W]
+	k  int
+}
+
+// NewLimit returns an iterator yielding at most k rows of it.
+func NewLimit[W any](it RowIter[W], k int) RowIter[W] { return &limitIter[W]{in: it, k: k} }
+
+func (l *limitIter[W]) Next() (Row[W], bool) {
+	if l.k <= 0 {
+		return Row[W]{}, false
+	}
+	l.k--
+	return l.in.Next()
+}

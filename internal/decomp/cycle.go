@@ -1,0 +1,394 @@
+// Package decomp implements the simple-cycle decomposition of Section 5.3.1:
+// an ℓ-cycle query is split by a heavy/light tuple partitioning (threshold
+// n^(2/ℓ)) into ℓ "heavy" tree decompositions plus one "all-light" tree,
+// whose outputs partition the cycle's output. Each tree is a path of
+// materialized bags with schema-level weight lineage (every input relation
+// is pinned to exactly one bag), ready to feed dpgraph.Build and the UT-DP
+// union of package core. Total materialization cost is O(n^(2-2/ℓ)) —
+// O(n^1.5) for 4-cycles, matching the submodular width bound.
+package decomp
+
+import (
+	"fmt"
+	"math"
+
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Tree is one acyclic member of the union: a path of bag stages in preorder.
+type Tree[W any] struct {
+	Name   string
+	Inputs []dpgraph.StageInput[W]
+}
+
+// CycleShape describes a simple-cycle query detected by DetectCycle: atom i
+// is R(Vars[i], Vars[(i+1)%ℓ]).
+type CycleShape struct {
+	Q     *query.CQ
+	Rels  []string // relation name per cycle position
+	Atoms []int    // atom index per cycle position
+	Vars  []string // variable per cycle position
+}
+
+// DetectCycle checks that q is a simple ℓ-cycle of binary atoms (every
+// variable shared by exactly two adjacent atoms) and returns its shape.
+func DetectCycle(q *query.CQ) (*CycleShape, error) {
+	l := len(q.Atoms)
+	if l < 3 {
+		return nil, fmt.Errorf("query %s: a simple cycle needs at least 3 atoms", q.Name)
+	}
+	occ := map[string][]int{}
+	for i, a := range q.Atoms {
+		if len(a.Vars) != 2 || a.Vars[0] == a.Vars[1] {
+			return nil, fmt.Errorf("query %s: atom %s is not a binary edge", q.Name, a.Rel)
+		}
+		for _, v := range a.Vars {
+			occ[v] = append(occ[v], i)
+		}
+	}
+	if len(occ) != l {
+		return nil, fmt.Errorf("query %s: %d variables for %d atoms; not a simple cycle", q.Name, len(occ), l)
+	}
+	for v, atoms := range occ {
+		if len(atoms) != 2 {
+			return nil, fmt.Errorf("query %s: variable %s appears in %d atoms", q.Name, v, len(atoms))
+		}
+	}
+	// Walk the cycle starting at atom 0 in the direction of its second var.
+	shape := &CycleShape{Q: q}
+	at := 0
+	v := q.Atoms[0].Vars[0]
+	for range q.Atoms {
+		shape.Atoms = append(shape.Atoms, at)
+		shape.Rels = append(shape.Rels, q.Atoms[at].Rel)
+		shape.Vars = append(shape.Vars, v)
+		next := q.Atoms[at].Vars[1]
+		if next == v {
+			next = q.Atoms[at].Vars[0]
+		}
+		// the other atom containing next
+		na := occ[next][0]
+		if na == at {
+			na = occ[next][1]
+		}
+		at, v = na, next
+	}
+	if at != 0 || v != q.Atoms[0].Vars[0] {
+		return nil, fmt.Errorf("query %s: atoms do not form a single cycle", q.Name)
+	}
+	// Verify orientation: each atom must be (Vars[i], Vars[i+1]).
+	for i, ai := range shape.Atoms {
+		a := q.Atoms[ai]
+		v0, v1 := shape.Vars[i], shape.Vars[(i+1)%l]
+		if !(a.Vars[0] == v0 && a.Vars[1] == v1) && !(a.Vars[0] == v1 && a.Vars[1] == v0) {
+			return nil, fmt.Errorf("query %s: atom %s breaks the cycle orientation", q.Name, a.Rel)
+		}
+	}
+	return shape, nil
+}
+
+// part identifies which horizontal slice of a relation a partition uses.
+type part int
+
+const (
+	full part = iota
+	heavy
+	light
+)
+
+// cycleRel is one cycle position's relation, oriented so column 0 holds
+// Vars[i] and column 1 holds Vars[i+1], with per-tuple heaviness of the
+// column-0 value precomputed.
+type cycleRel struct {
+	rows    [][]relation.Value // oriented rows
+	weights []float64
+	ids     []int64 // original row ids (for Lift)
+	isHeavy []bool  // heaviness of rows[i][0] in column 0
+}
+
+// Decompose splits the cycle query's output into ℓ+1 disjoint trees. The
+// atomStage function is not needed: weights are lifted with the cycle
+// position as the stage index, matching the serialized positions the engine
+// uses for acyclic queries.
+func Decompose[W any](d dioid.Dioid[W], db *relation.DB, shape *CycleShape) ([]Tree[W], error) {
+	l := len(shape.Rels)
+	rels := make([]*cycleRel, l)
+	n := 0
+	for i, name := range shape.Rels {
+		r := db.Relation(name)
+		if r == nil {
+			return nil, fmt.Errorf("relation %s not in database", name)
+		}
+		if r.Size() > n {
+			n = r.Size()
+		}
+		rels[i] = orient(r, shape.Q.Atoms[shape.Atoms[i]], shape.Vars[i])
+	}
+	threshold := math.Pow(float64(n), 2/float64(l))
+	for _, cr := range rels {
+		markHeavy(cr, threshold)
+	}
+	var trees []Tree[W]
+	for i := 0; i < l; i++ {
+		tr, err := heavyTree[W](d, rels, shape, i)
+		if err != nil {
+			return nil, err
+		}
+		trees = append(trees, tr)
+	}
+	trees = append(trees, lightTree[W](d, rels, shape))
+	return trees, nil
+}
+
+func orient(r *relation.Relation, a query.Atom, firstVar string) *cycleRel {
+	flip := a.Vars[0] != firstVar
+	cr := &cycleRel{
+		rows:    make([][]relation.Value, r.Size()),
+		weights: append([]float64(nil), r.Weights...),
+		ids:     make([]int64, r.Size()),
+		isHeavy: make([]bool, r.Size()),
+	}
+	for i, row := range r.Rows {
+		if flip {
+			cr.rows[i] = []relation.Value{row[1], row[0]}
+		} else {
+			cr.rows[i] = row
+		}
+		cr.ids[i] = int64(i)
+	}
+	return cr
+}
+
+// markHeavy flags tuples whose first-column value occurs at least threshold
+// times (Section 5.3.1: "t.Ai occurs at least n^(2/ℓ) times in column
+// Ri.Ai").
+func markHeavy(cr *cycleRel, threshold float64) {
+	count := map[relation.Value]int{}
+	for _, row := range cr.rows {
+		count[row[0]]++
+	}
+	for i, row := range cr.rows {
+		cr.isHeavy[i] = float64(count[row[0]]) >= threshold
+	}
+}
+
+// use reports whether row r of cycle relation cr participates in slice p.
+func use(cr *cycleRel, r int, p part) bool {
+	switch p {
+	case heavy:
+		return cr.isHeavy[r]
+	case light:
+		return !cr.isHeavy[r]
+	}
+	return true
+}
+
+// partOf returns the slice of cycle position j used by heavy partition i:
+// positions before i are light, position i is heavy, later positions full
+// (database partition T_{i+1} of Section 5.3.1).
+func partOf(i, j int) part {
+	switch {
+	case j == i:
+		return heavy
+	case j < i:
+		return light
+	}
+	return full
+}
+
+// heavyTree materializes the heavy decomposition for partition i: a path of
+// ℓ-2 bags, all containing the heavy variable x_i. Bag 0 joins R_i ⋈ R_{i+1};
+// middle bag j is heavyValues(x_i) × R_{i+j+1}; the last bag joins
+// R_{i+ℓ-2} ⋈ R_{i+ℓ-1} (which closes the cycle back to x_i).
+func heavyTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, i int) (Tree[W], error) {
+	l := len(rels)
+	at := func(j int) int { return (i + j) % l }
+	v := func(j int) string { return shape.Vars[at(j)] }
+	lift := func(j, row int) W {
+		return d.Lift(rels[at(j)].weights[row], shape.Atoms[at(j)], rels[at(j)].ids[row])
+	}
+	// Heavy values of x_i present in R_i's heavy slice.
+	heavyVals := map[relation.Value]bool{}
+	cri := rels[i]
+	for r, row := range cri.rows {
+		if cri.isHeavy[r] {
+			heavyVals[row[0]] = true
+		}
+	}
+	tr := Tree[W]{Name: fmt.Sprintf("T%d[heavy %s]", i+1, v(0))}
+	if l == 3 {
+		// Degenerate: one bag joining all three relations.
+		in := dpgraph.StageInput[W]{
+			Name: "B0", Vars: []string{v(0), v(1), v(2)}, Parent: -1,
+		}
+		idx1 := indexByCol0(rels[at(1)], partOf(i, at(1)))
+		idx2 := indexByPair(rels[at(2)], partOf(i, at(2)))
+		for r0, row0 := range cri.rows {
+			if !cri.isHeavy[r0] {
+				continue
+			}
+			for _, r1 := range idx1[row0[1]] {
+				row1 := rels[at(1)].rows[r1]
+				for _, r2 := range idx2[pair{row1[1], row0[0]}] {
+					w := d.Times(lift(0, r0), d.Times(lift(1, r1), lift(2, r2)))
+					in.Rows = append(in.Rows, []relation.Value{row0[0], row0[1], row1[1]})
+					in.Weights = append(in.Weights, w)
+				}
+			}
+		}
+		tr.Inputs = []dpgraph.StageInput[W]{in}
+		return tr, nil
+	}
+	nbags := l - 2
+	for b := 0; b < nbags; b++ {
+		in := dpgraph.StageInput[W]{
+			Name:   fmt.Sprintf("B%d", b),
+			Vars:   []string{v(0), v(b + 1), v(b + 2)},
+			Parent: b - 1,
+		}
+		switch b {
+		case 0:
+			// R_i ⋈ R_{i+1} restricted to heavy x_i: iterate heavy values ×
+			// R_{i+1} tuples, verifying membership in R_i by hash.
+			idx0 := indexByPair(cri, heavy)
+			p1 := partOf(i, at(1))
+			for r1, row1 := range rels[at(1)].rows {
+				if !use(rels[at(1)], r1, p1) {
+					continue
+				}
+				for h := range heavyVals {
+					for _, r0 := range idx0[pair{h, row1[0]}] {
+						w := d.Times(lift(0, r0), lift(1, r1))
+						in.Rows = append(in.Rows, []relation.Value{h, row1[0], row1[1]})
+						in.Weights = append(in.Weights, w)
+					}
+				}
+			}
+		case nbags - 1:
+			// R_{i+ℓ-2} ⋈ R_{i+ℓ-1}, closing back to the heavy variable.
+			pm := partOf(i, at(l-2))
+			idxLast := indexByPair(rels[at(l-1)], partOf(i, at(l-1)))
+			for rm, rowm := range rels[at(l-2)].rows {
+				if !use(rels[at(l-2)], rm, pm) {
+					continue
+				}
+				for h := range heavyVals {
+					for _, rl := range idxLast[pair{rowm[1], h}] {
+						w := d.Times(lift(l-2, rm), lift(l-1, rl))
+						in.Rows = append(in.Rows, []relation.Value{h, rowm[0], rowm[1]})
+						in.Weights = append(in.Weights, w)
+					}
+				}
+			}
+		default:
+			// Cross product of heavy values with R_{i+b+1}.
+			pj := partOf(i, at(b+1))
+			for rj, rowj := range rels[at(b+1)].rows {
+				if !use(rels[at(b+1)], rj, pj) {
+					continue
+				}
+				for h := range heavyVals {
+					in.Rows = append(in.Rows, []relation.Value{h, rowj[0], rowj[1]})
+					in.Weights = append(in.Weights, lift(b+1, rj))
+				}
+			}
+		}
+		tr.Inputs = append(tr.Inputs, in)
+	}
+	return tr, nil
+}
+
+// lightTree materializes the all-light decomposition: two bags obtained by
+// chain joins over the light slices, split at position m = ⌈ℓ/2⌉.
+func lightTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape) Tree[W] {
+	l := len(rels)
+	m := (l + 1) / 2
+	tr := Tree[W]{Name: fmt.Sprintf("T%d[all-light]", l+1)}
+	b1 := chainBag[W](d, rels, shape, 0, m)   // covers R_0..R_{m-1}: vars x_0..x_m
+	b2 := chainBag[W](d, rels, shape, m, l-m) // covers R_m..R_{l-1}: vars x_m..x_{l-1},x_0
+	b1.Name, b1.Parent = "B0", -1
+	b2.Name, b2.Parent = "B1", 0
+	tr.Inputs = []dpgraph.StageInput[W]{b1, b2}
+	return tr
+}
+
+// chainBag joins count consecutive light relations starting at cycle
+// position start via hash chain joins, producing rows over the count+1
+// variables x_start..x_{start+count}.
+func chainBag[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, start, count int) dpgraph.StageInput[W] {
+	l := len(rels)
+	at := func(j int) int { return (start + j) % l }
+	vars := make([]string, count+1)
+	for j := 0; j <= count; j++ {
+		vars[j] = shape.Vars[at(j)]
+	}
+	in := dpgraph.StageInput[W]{Vars: vars}
+	idx := make([]map[relation.Value][]int, count)
+	for j := 1; j < count; j++ {
+		idx[j] = indexByCol0(rels[at(j)], light)
+	}
+	vals := make([]relation.Value, count+1)
+	var rec func(j int, w W)
+	rec = func(j int, w W) {
+		if j == count {
+			in.Rows = append(in.Rows, append([]relation.Value(nil), vals...))
+			in.Weights = append(in.Weights, w)
+			return
+		}
+		cr := rels[at(j)]
+		var rows []int
+		if j == 0 {
+			for r := range cr.rows {
+				if !cr.isHeavy[r] {
+					rows = append(rows, r)
+				}
+			}
+		} else {
+			rows = idx[j][vals[j]]
+		}
+		for _, r := range rows {
+			if j == 0 {
+				vals[0] = cr.rows[r][0]
+			} else if cr.rows[r][0] != vals[j] {
+				continue
+			}
+			vals[j+1] = cr.rows[r][1]
+			wr := d.Lift(cr.weights[r], shape.Atoms[at(j)], cr.ids[r])
+			rec(j+1, d.Times(w, wr))
+		}
+	}
+	rec(0, d.One())
+	return in
+}
+
+type pair struct{ a, b relation.Value }
+
+// indexByCol0 hashes row ids of the requested slice by their first column.
+// partitionIdx is only used for the heavy/light decision context (-1 = plain
+// light).
+func indexByCol0(cr *cycleRel, p part) map[relation.Value][]int {
+	idx := map[relation.Value][]int{}
+	for r, row := range cr.rows {
+		if !use(cr, r, p) {
+			continue
+		}
+		idx[row[0]] = append(idx[row[0]], r)
+	}
+	return idx
+}
+
+// indexByPair hashes row ids of the requested slice by both columns.
+func indexByPair(cr *cycleRel, p part) map[pair][]int {
+	idx := map[pair][]int{}
+	for r, row := range cr.rows {
+		if !use(cr, r, p) {
+			continue
+		}
+		k := pair{row[0], row[1]}
+		idx[k] = append(idx[k], r)
+	}
+	return idx
+}

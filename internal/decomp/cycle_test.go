@@ -1,0 +1,270 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// randomCycleDB builds ℓ binary relations with rows rows over domain dom and
+// integer weights.
+func randomCycleDB(r *rand.Rand, l, rows, dom int) *relation.DB {
+	db := relation.NewDB()
+	for i := 1; i <= l; i++ {
+		rel := relation.New(fmt.Sprintf("R%d", i), "A", "B")
+		for k := 0; k < rows; k++ {
+			rel.Add(float64(r.Intn(40)), int64(r.Intn(dom)), int64(r.Intn(dom)))
+		}
+		db.AddRelation(rel)
+	}
+	return db
+}
+
+// naiveCycle enumerates the ℓ-cycle output by nested loops; returns rows
+// keyed by their variable values with summed witness weights (there can be
+// several witnesses per row under bag semantics, all kept).
+func naiveCycle(db *relation.DB, l int) map[string][]float64 {
+	out := map[string][]float64{}
+	rels := make([]*relation.Relation, l)
+	for i := 0; i < l; i++ {
+		rels[i] = db.Relation(fmt.Sprintf("R%d", i+1))
+	}
+	var walk func(i int, w float64)
+	assign := make([]int64, l) // assign[j] = value of x_{j+1}
+	walk = func(i int, w float64) {
+		if i == l {
+			key := fmt.Sprint(assign)
+			out[key] = append(out[key], w)
+			return
+		}
+		for _, ri := range relRows(rels[i]) {
+			row, wt := ri.row, ri.w
+			if i == 0 {
+				assign[0], assign[1] = row[0], row[1]
+				walk(1, wt)
+				continue
+			}
+			if row[0] != assign[i] {
+				continue
+			}
+			if i == l-1 {
+				if row[1] != assign[0] {
+					continue
+				}
+				walk(l, w+wt)
+				continue
+			}
+			assign[i+1] = row[1]
+			walk(i+1, w+wt)
+		}
+	}
+	walk(0, 0)
+	return out
+}
+
+type rowW struct {
+	row []int64
+	w   float64
+}
+
+func relRows(r *relation.Relation) []rowW {
+	out := make([]rowW, r.Size())
+	for i := range r.Rows {
+		out[i] = rowW{r.Rows[i], r.Weights[i]}
+	}
+	return out
+}
+
+// enumerate runs the UT-DP union over the decomposition trees with the given
+// algorithm and returns all rows.
+func enumerate(t *testing.T, db *relation.DB, l int, alg core.Algorithm) []core.Row[float64] {
+	t.Helper()
+	q := query.CycleQuery(l)
+	shape, err := DetectCycle(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dioid.Tropical{}
+	trees, err := Decompose[float64](d, db, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != l+1 {
+		t.Fatalf("got %d trees, want %d", len(trees), l+1)
+	}
+	outVars := q.Vars()
+	var iters []core.RowIter[float64]
+	for i, tr := range trees {
+		g, err := dpgraph.Build[float64](d, tr.Inputs, outVars)
+		if err != nil {
+			t.Fatalf("tree %s: %v", tr.Name, err)
+		}
+		g.BottomUp()
+		iters = append(iters, core.NewGraphIter[float64](g, core.New[float64](g, alg), i))
+	}
+	u := core.NewUnion[float64](d, iters...)
+	var rows []core.Row[float64]
+	for {
+		r, ok := u.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func TestCycleDecompositionMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, l := range []int{3, 4, 5, 6} {
+		trials := 6
+		maxRows, maxDom := 20, 5
+		if l >= 5 {
+			// the naive cross-check is O(rows^ℓ); keep instances tiny
+			trials, maxRows, maxDom = 3, 6, 3
+		}
+		for trial := 0; trial < trials; trial++ {
+			rows := 4 + r.Intn(maxRows)
+			dom := 1 + r.Intn(maxDom)
+			db := randomCycleDB(r, l, rows, dom)
+			want := naiveCycle(db, l)
+			wantTotal := 0
+			var wantWeights []float64
+			for _, ws := range want {
+				wantTotal += len(ws)
+				wantWeights = append(wantWeights, ws...)
+			}
+			sort.Float64s(wantWeights)
+			got := enumerate(t, db, l, core.Take2)
+			if len(got) != wantTotal {
+				t.Fatalf("l=%d trial=%d: got %d results, want %d", l, trial, len(got), wantTotal)
+			}
+			// ranked order and multiset of weights
+			for i, g := range got {
+				if g.Weight != wantWeights[i] {
+					t.Fatalf("l=%d trial=%d rank %d: weight %v, want %v", l, trial, i, g.Weight, wantWeights[i])
+				}
+				if i > 0 && got[i-1].Weight > g.Weight {
+					t.Fatalf("not sorted at %d", i)
+				}
+			}
+			// row-level correctness: every row appears with a matching witness weight
+			gotRows := map[string][]float64{}
+			for _, g := range got {
+				key := fmt.Sprint(g.Vals)
+				gotRows[key] = append(gotRows[key], g.Weight)
+			}
+			if len(gotRows) != len(want) {
+				t.Fatalf("l=%d trial=%d: %d distinct rows, want %d", l, trial, len(gotRows), len(want))
+			}
+			for key, ws := range want {
+				gws := gotRows[key]
+				if len(gws) != len(ws) {
+					t.Fatalf("l=%d trial=%d row %s: %d witnesses, want %d", l, trial, key, len(gws), len(ws))
+				}
+				sort.Float64s(ws)
+				sort.Float64s(gws)
+				for i := range ws {
+					if ws[i] != gws[i] {
+						t.Fatalf("row %s witness weights %v vs %v", key, gws, ws)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCycleDecompositionDisjoint(t *testing.T) {
+	// Each output witness must come from exactly one tree: since all-weights
+	// are integers, count totals per tree and compare against the naive
+	// total (equality was established above; here check no tree overlaps by
+	// verifying per-row witness counts don't exceed naive ones).
+	r := rand.New(rand.NewSource(77))
+	db := randomCycleDB(r, 4, 30, 3)
+	want := naiveCycle(db, 4)
+	got := enumerate(t, db, 4, core.Recursive)
+	counts := map[string]int{}
+	for _, g := range got {
+		counts[fmt.Sprint(g.Vals)]++
+	}
+	for key, c := range counts {
+		if c != len(want[key]) {
+			t.Fatalf("row %s produced %d times, want %d", key, c, len(want[key]))
+		}
+	}
+}
+
+func TestAllAlgorithmsOnCycle(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	db := randomCycleDB(r, 4, 25, 3)
+	want := enumerate(t, db, 4, core.Batch)
+	for _, alg := range []core.Algorithm{core.Take2, core.Lazy, core.Eager, core.All, core.Recursive} {
+		got := enumerate(t, db, 4, alg)
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d vs %d", alg, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Weight != want[i].Weight {
+				t.Fatalf("%v rank %d: %v vs %v", alg, i, got[i].Weight, want[i].Weight)
+			}
+		}
+	}
+}
+
+func TestDetectCycleRejects(t *testing.T) {
+	if _, err := DetectCycle(query.PathQuery(4)); err == nil {
+		t.Fatal("path accepted as cycle")
+	}
+	if _, err := DetectCycle(query.StarQuery(4)); err == nil {
+		t.Fatal("star accepted as cycle")
+	}
+	if _, err := DetectCycle(query.NewCQ("two", nil,
+		query.Atom{Rel: "R", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "S", Vars: []string{"b", "a"}})); err == nil {
+		t.Fatal("2-cycle accepted")
+	}
+}
+
+func TestDetectCycleAccepts(t *testing.T) {
+	for _, l := range []int{3, 4, 6, 8} {
+		shape, err := DetectCycle(query.CycleQuery(l))
+		if err != nil {
+			t.Fatalf("l=%d: %v", l, err)
+		}
+		if len(shape.Vars) != l || len(shape.Rels) != l {
+			t.Fatalf("l=%d: bad shape %+v", l, shape)
+		}
+	}
+}
+
+func TestHeavyLightThreshold(t *testing.T) {
+	// Worst-case construction of Section 7 (from NPRR): n/2 tuples (0,i) and
+	// n/2 tuples (i,0). Value 0 is heavy in column A; the i values are light.
+	rel := relation.New("R", "A", "B")
+	n := 100
+	for i := 1; i <= n/2; i++ {
+		rel.Add(1, 0, int64(i))
+		rel.Add(1, int64(i), 0)
+	}
+	cr := orient(rel, query.Atom{Rel: "R", Vars: []string{"x1", "x2"}}, "x1")
+	markHeavy(cr, 10) // threshold n^(2/4) = 10
+	heavyCount := 0
+	for i := range cr.rows {
+		if cr.isHeavy[i] {
+			heavyCount++
+			if cr.rows[i][0] != 0 {
+				t.Fatalf("non-zero value marked heavy: %v", cr.rows[i])
+			}
+		}
+	}
+	if heavyCount != n/2 {
+		t.Fatalf("heavy count = %d, want %d", heavyCount, n/2)
+	}
+}

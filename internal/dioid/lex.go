@@ -1,0 +1,74 @@
+package dioid
+
+import "math"
+
+// Vec is a fixed-length weight vector used by the lexicographic dioid
+// (Section 2.2 "Generality") and the tie-breaking dioid (Section 6.3).
+type Vec []float64
+
+// Lex implements lexicographic ranking over ℓ relations: each input tuple of
+// stage j is lifted to an ℓ-vector that is zero except at position j; Times
+// is element-wise addition and Plus selects the lexicographically smaller
+// vector. Lex is a group (element-wise subtraction), so anyK-part can use the
+// fast delta path even for lexicographic orders.
+type Lex struct {
+	// L is the number of stages (vector length).
+	L int
+}
+
+// NewLex returns a lexicographic dioid over l stages.
+func NewLex(l int) Lex { return Lex{L: l} }
+
+func (d Lex) Zero() Vec {
+	v := make(Vec, d.L)
+	for i := range v {
+		v[i] = math.Inf(1)
+	}
+	return v
+}
+
+func (d Lex) One() Vec { return make(Vec, d.L) }
+
+func (d Lex) Lift(w float64, stage int, id int64) Vec {
+	v := make(Vec, d.L)
+	if stage >= 0 && stage < d.L {
+		v[stage] = w
+	}
+	return v
+}
+
+func (d Lex) Less(a, b Vec) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func (d Lex) Plus(a, b Vec) Vec {
+	if d.Less(b, a) {
+		return b
+	}
+	return a
+}
+
+func (d Lex) Times(a, b Vec) Vec {
+	v := make(Vec, len(a))
+	for i := range a {
+		v[i] = a[i] + b[i]
+	}
+	return v
+}
+
+func (d Lex) Minus(a, b Vec) Vec {
+	v := make(Vec, len(a))
+	for i := range a {
+		if math.IsInf(a[i], 1) {
+			v[i] = a[i]
+			continue
+		}
+		v[i] = a[i] - b[i]
+	}
+	return v
+}

@@ -1,0 +1,20 @@
+package dioid
+
+// Monoid wraps a dioid and hides any inverse it may have: type assertions to
+// Group[W] fail on the wrapper. anyK-part then falls back to the O(ℓ)
+// candidate-priority recomputation of Section 6.2, which lets tests verify
+// both code paths produce identical rankings and lets benchmarks measure the
+// cost of losing the inverse (an ablation DESIGN.md calls out).
+type Monoid[W any] struct {
+	Inner Dioid[W]
+}
+
+// AsMonoid wraps d so that it no longer advertises an inverse.
+func AsMonoid[W any](d Dioid[W]) Monoid[W] { return Monoid[W]{Inner: d} }
+
+func (m Monoid[W]) Plus(a, b W) W                         { return m.Inner.Plus(a, b) }
+func (m Monoid[W]) Times(a, b W) W                        { return m.Inner.Times(a, b) }
+func (m Monoid[W]) Zero() W                               { return m.Inner.Zero() }
+func (m Monoid[W]) One() W                                { return m.Inner.One() }
+func (m Monoid[W]) Less(a, b W) bool                      { return m.Inner.Less(a, b) }
+func (m Monoid[W]) Lift(w float64, stage int, id int64) W { return m.Inner.Lift(w, stage, id) }

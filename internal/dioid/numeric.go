@@ -1,0 +1,98 @@
+package dioid
+
+import "math"
+
+// Tropical is the tropical semiring (R∪{∞}, min, +, ∞, 0): results are ranked
+// by ascending sum of input weights (the paper's running dioid). It is a
+// group: Minus is ordinary subtraction.
+type Tropical struct{}
+
+func (Tropical) Plus(a, b float64) float64 { return math.Min(a, b) }
+func (Tropical) Times(a, b float64) float64 {
+	// ∞ must absorb even against -∞ noise; IEEE +Inf + x = +Inf for finite x.
+	return a + b
+}
+func (Tropical) Zero() float64                               { return math.Inf(1) }
+func (Tropical) One() float64                                { return 0 }
+func (Tropical) Less(a, b float64) bool                      { return a < b }
+func (Tropical) Lift(w float64, stage int, id int64) float64 { return w }
+func (Tropical) Minus(a, b float64) float64 {
+	if math.IsInf(a, 1) {
+		return a
+	}
+	return a - b
+}
+
+// MaxPlus is (R∪{-∞}, max, +, -∞, 0): ranks by descending sum ("heaviest
+// first" / longest paths). It is a group.
+type MaxPlus struct{}
+
+func (MaxPlus) Plus(a, b float64) float64                   { return math.Max(a, b) }
+func (MaxPlus) Times(a, b float64) float64                  { return a + b }
+func (MaxPlus) Zero() float64                               { return math.Inf(-1) }
+func (MaxPlus) One() float64                                { return 0 }
+func (MaxPlus) Less(a, b float64) bool                      { return a > b }
+func (MaxPlus) Lift(w float64, stage int, id int64) float64 { return w }
+func (MaxPlus) Minus(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return a
+	}
+	return a - b
+}
+
+// MaxTimes is ([0,∞), max, ×, 0, 1): with multiplicities as weights it ranks
+// output tuples by descending bag-semantics multiplicity (Section 6.4). It is
+// a group on the positive reals (Minus divides); weights must be > 0.
+type MaxTimes struct{}
+
+func (MaxTimes) Plus(a, b float64) float64                   { return math.Max(a, b) }
+func (MaxTimes) Times(a, b float64) float64                  { return a * b }
+func (MaxTimes) Zero() float64                               { return 0 }
+func (MaxTimes) One() float64                                { return 1 }
+func (MaxTimes) Less(a, b float64) bool                      { return a > b }
+func (MaxTimes) Lift(w float64, stage int, id int64) float64 { return w }
+func (MaxTimes) Minus(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return a
+	}
+	return a / b
+}
+
+// MinMax is the bottleneck dioid (R∪{±∞}, min, max, +∞, -∞): the weight of a
+// result is its heaviest input tuple, and results are ranked by ascending
+// bottleneck (minimax paths). max distributes over min, Plus is selective,
+// and there is no inverse — exercising the monoid fallback of Section 6.2.
+type MinMax struct{}
+
+func (MinMax) Plus(a, b float64) float64                   { return math.Min(a, b) }
+func (MinMax) Times(a, b float64) float64                  { return math.Max(a, b) }
+func (MinMax) Zero() float64                               { return math.Inf(1) }
+func (MinMax) One() float64                                { return math.Inf(-1) }
+func (MinMax) Less(a, b float64) bool                      { return a < b }
+func (MinMax) Lift(w float64, stage int, id int64) float64 { return w }
+
+// Boolean is the Boolean semiring ({0,1}, ∨, ∧, 0, 1) with the inverted order
+// 1 ≤ 0 of Section 6.4: true ("satisfiable") ranks before false, so any-k
+// enumeration degenerates to standard (unranked) query evaluation and the
+// first answer of the Boolean query arrives at TTF. It has no inverse.
+type Boolean struct{}
+
+func (Boolean) Plus(a, b bool) bool                      { return a || b }
+func (Boolean) Times(a, b bool) bool                     { return a && b }
+func (Boolean) Zero() bool                               { return false }
+func (Boolean) One() bool                                { return true }
+func (Boolean) Less(a, b bool) bool                      { return a && !b }
+func (Boolean) Lift(w float64, stage int, id int64) bool { return true }
+
+// Counting is the counting semiring (N, +, ×, 0, 1). Its Plus is NOT
+// selective, so it is not a valid ranking dioid; it exists for the bottom-up
+// pass only (counting query answers) and for negative tests of the law
+// checker. It deliberately does not implement Less as a strict order.
+type Counting struct{}
+
+func (Counting) Plus(a, b float64) float64                   { return a + b }
+func (Counting) Times(a, b float64) float64                  { return a * b }
+func (Counting) Zero() float64                               { return 0 }
+func (Counting) One() float64                                { return 1 }
+func (Counting) Less(a, b float64) bool                      { return false }
+func (Counting) Lift(w float64, stage int, id int64) float64 { return 1 }

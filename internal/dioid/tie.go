@@ -1,0 +1,110 @@
+package dioid
+
+// TieWeight pairs an inner weight with a witness-identity vector: position j
+// holds the database tuple id chosen at stage j, or -1 when stage j has not
+// contributed yet. Comparisons order by the inner weight first and break ties
+// lexicographically on the id vector, realizing the Section 6.3 construction:
+// with it, distinct output tuples never compare equal, so duplicates produced
+// by overlapping decompositions arrive consecutively and can be filtered with
+// O(1) look-behind.
+type TieWeight[W any] struct {
+	W   W
+	IDs []int64
+}
+
+// Tie wraps an inner dioid with the tie-breaking construction. Because each
+// stage sets its own vector position exactly once, Times is a commutative
+// merge and the result is again a selective dioid.
+type Tie[W any] struct {
+	Inner Dioid[W]
+	L     int
+}
+
+// NewTie returns the tie-breaking wrapper over inner for l stages.
+func NewTie[W any](inner Dioid[W], l int) Tie[W] { return Tie[W]{Inner: inner, L: l} }
+
+func (d Tie[W]) ids(fill int64) []int64 {
+	v := make([]int64, d.L)
+	for i := range v {
+		v[i] = fill
+	}
+	return v
+}
+
+func (d Tie[W]) Zero() TieWeight[W] { return TieWeight[W]{W: d.Inner.Zero(), IDs: d.ids(-1)} }
+func (d Tie[W]) One() TieWeight[W]  { return TieWeight[W]{W: d.Inner.One(), IDs: d.ids(-1)} }
+
+func (d Tie[W]) Lift(w float64, stage int, id int64) TieWeight[W] {
+	v := d.ids(-1)
+	if stage >= 0 && stage < d.L {
+		v[stage] = id
+	}
+	return TieWeight[W]{W: d.Inner.Lift(w, stage, id), IDs: v}
+}
+
+func (d Tie[W]) Less(a, b TieWeight[W]) bool {
+	if d.Inner.Less(a.W, b.W) {
+		return true
+	}
+	if d.Inner.Less(b.W, a.W) {
+		return false
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] {
+			return a.IDs[i] < b.IDs[i]
+		}
+	}
+	return false
+}
+
+func (d Tie[W]) Plus(a, b TieWeight[W]) TieWeight[W] {
+	if d.Less(b, a) {
+		return b
+	}
+	return a
+}
+
+func (d Tie[W]) Times(a, b TieWeight[W]) TieWeight[W] {
+	// Zero must absorb: inner Zero is the unique worst element, so w ≥ Zero
+	// identifies it without requiring equality on W.
+	z := d.Inner.Zero()
+	if !d.Inner.Less(a.W, z) || !d.Inner.Less(b.W, z) {
+		return d.Zero()
+	}
+	v := make([]int64, d.L)
+	for i := range v {
+		switch {
+		case a.IDs[i] >= 0:
+			v[i] = a.IDs[i]
+		case b.IDs[i] >= 0:
+			v[i] = b.IDs[i]
+		default:
+			v[i] = -1
+		}
+	}
+	return TieWeight[W]{W: d.Inner.Times(a.W, b.W), IDs: v}
+}
+
+// GroupTie is Tie over a group inner dioid; Minus un-merges b's contribution,
+// keeping the O(1) anyK-part delta path available under tie-breaking.
+type GroupTie[W any] struct {
+	Tie[W]
+	GInner Group[W]
+}
+
+// NewGroupTie returns the tie-breaking wrapper that preserves the inverse.
+func NewGroupTie[W any](inner Group[W], l int) GroupTie[W] {
+	return GroupTie[W]{Tie: NewTie[W](inner, l), GInner: inner}
+}
+
+func (d GroupTie[W]) Minus(a, b TieWeight[W]) TieWeight[W] {
+	v := make([]int64, d.L)
+	for i := range v {
+		if b.IDs[i] >= 0 {
+			v[i] = -1
+		} else {
+			v[i] = a.IDs[i]
+		}
+	}
+	return TieWeight[W]{W: d.GInner.Minus(a.W, b.W), IDs: v}
+}

@@ -1,0 +1,357 @@
+// Package dpgraph builds the Tree-based Dynamic Programming (T-DP) state
+// space of Section 5.1: one stage per join-tree node, one state per tuple,
+// and — crucially — per-(parent,child) *shared join-key groups* realizing the
+// equi-join graph transformation of Fig. 3 that keeps the number of edges at
+// O(ℓn). Serial DP (path queries, Section 3) is the single-child special
+// case.
+//
+// All any-k enumerators in package core operate on this one structure.
+package dpgraph
+
+import (
+	"fmt"
+
+	"anyk/internal/dioid"
+	"anyk/internal/relation"
+)
+
+// Value aliases the relational domain type.
+type Value = relation.Value
+
+// StageInput describes one join-tree node to build a stage from: its bound
+// variables, rows, already-lifted weights, the index of its parent input
+// (-1 = child of the artificial root), and whether the stage is pruned after
+// the bottom-up pass (free-connex projections, Section 8.1).
+type StageInput[W any] struct {
+	Name    string
+	Vars    []string
+	Rows    [][]Value
+	Weights []W
+	Parent  int
+	Prune   bool
+}
+
+// State is one DP state: a tuple of its stage.
+type State[W any] struct {
+	// Weight is the lifted input weight w(s) of entering this state.
+	Weight W
+	// EffWeight is Weight ⊗ the optimal completions of all *pruned* child
+	// branches; enumeration uses it so pruned subtrees cost nothing extra.
+	EffWeight W
+	// Opt is the weight of the best solution of the subtree rooted here,
+	// including Weight itself: Opt = Weight ⊗ ⊗_b Min(group_b) over all
+	// child branches (Eq. 7, shifted by one level).
+	Opt W
+	// Groups[b] is the index of this state's join-key group in child stage
+	// b's group table, or -1 when the state has no join partner there.
+	Groups []int32
+}
+
+// Group is a shared choice set: all states of a stage that agree on the join
+// key with the parent stage. Every parent state with that key points to the
+// same Group, so per-group data structures (sorted lists, heaps, suffix
+// memos) are shared exactly as in the paper's transformed equi-join graph.
+type Group[W any] struct {
+	// all holds every member (set at build time); Members holds the alive
+	// ones after the bottom-up pass, with Costs[i] = Opt(Members[i]).
+	all     []int32
+	Members []int32
+	Costs   []W
+	// MinIdx is the position in Members of the cheapest member; Min is its
+	// cost (Zero for an empty group).
+	MinIdx int32
+	Min    W
+}
+
+// Stage is one join-tree node's slice of the state space.
+type Stage[W any] struct {
+	Index  int
+	Name   string
+	Vars   []string
+	Rows   [][]Value
+	Parent int // stage index; -1 only for the artificial root
+	Branch int // this stage's branch slot in its parent's ChildStages
+	Pruned bool
+
+	States []State[W]
+	Groups []Group[W]
+
+	// ChildStages lists child stage indices in serialized order;
+	// UnprunedBranches the branch slots that participate in enumeration.
+	ChildStages      []int
+	UnprunedBranches []int
+
+	// JoinCols are this stage's row columns forming the join key with the
+	// parent; ParentJoinCols the matching columns in the parent's rows.
+	JoinCols       []int
+	ParentJoinCols []int
+
+	groupIndex map[relation.Key]int32
+}
+
+// Graph is the full T-DP state space. Stages[0] is the artificial root with
+// a single state; the remaining stages appear in preorder (parents first).
+type Graph[W any] struct {
+	D       dioid.Dioid[W]
+	Stages  []*Stage[W]
+	OutVars []string
+	// Serial lists the unpruned stage indices (excluding the root) in
+	// preorder: the serialized stage order of Section 5.1.
+	Serial []int
+	// writeCols[stage] maps row columns to output positions.
+	writeCols [][2][]int
+}
+
+// Build constructs the state space from stage inputs. Inputs must be in
+// preorder: input i's Parent must be < i (or -1). outVars fixes the output
+// row layout; pass nil to emit all variables in first-binding order.
+func Build[W any](d dioid.Dioid[W], inputs []StageInput[W], outVars []string) (*Graph[W], error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("dpgraph: no stage inputs")
+	}
+	g := &Graph[W]{D: d}
+	root := &Stage[W]{Index: 0, Name: "⊥root", Parent: -1}
+	root.States = []State[W]{{Weight: d.One(), EffWeight: d.One(), Opt: d.One()}}
+	g.Stages = append(g.Stages, root)
+
+	for i, in := range inputs {
+		if in.Parent >= i {
+			return nil, fmt.Errorf("dpgraph: input %d (%s) has parent %d out of preorder", i, in.Name, in.Parent)
+		}
+		if len(in.Rows) != len(in.Weights) {
+			return nil, fmt.Errorf("dpgraph: input %s: %d rows but %d weights", in.Name, len(in.Rows), len(in.Weights))
+		}
+		st := &Stage[W]{
+			Index:  i + 1,
+			Name:   in.Name,
+			Vars:   in.Vars,
+			Rows:   in.Rows,
+			Parent: in.Parent + 1,
+			Pruned: in.Prune,
+		}
+		st.States = make([]State[W], len(in.Rows))
+		for r := range in.Rows {
+			st.States[r] = State[W]{Weight: in.Weights[r]}
+		}
+		parent := g.Stages[st.Parent]
+		st.Branch = len(parent.ChildStages)
+		parent.ChildStages = append(parent.ChildStages, st.Index)
+		if !st.Pruned {
+			parent.UnprunedBranches = append(parent.UnprunedBranches, st.Branch)
+		}
+		// Join columns with the parent.
+		jv := sharedVars(in.Vars, parent.Vars)
+		st.JoinCols = colsOf(in.Vars, jv)
+		st.ParentJoinCols = colsOf(parent.Vars, jv)
+		// Group this stage's states by join key.
+		st.groupIndex = make(map[relation.Key]int32, len(in.Rows))
+		for r, row := range in.Rows {
+			k := keyAt(row, st.JoinCols)
+			gi, ok := st.groupIndex[k]
+			if !ok {
+				gi = int32(len(st.Groups))
+				st.groupIndex[k] = gi
+				st.Groups = append(st.Groups, Group[W]{})
+			}
+			st.Groups[gi].all = append(st.Groups[gi].all, int32(r))
+		}
+		g.Stages = append(g.Stages, st)
+	}
+	// Wire parent states to child groups (per branch), now that all stages
+	// and group indexes exist.
+	for _, st := range g.Stages {
+		if len(st.ChildStages) == 0 {
+			continue
+		}
+		for s := range st.States {
+			st.States[s].Groups = make([]int32, len(st.ChildStages))
+		}
+		for b, cs := range st.ChildStages {
+			child := g.Stages[cs]
+			for s := range st.States {
+				var k relation.Key
+				if st.Index == 0 {
+					k = keyAt(nil, nil)
+				} else {
+					k = keyAt(st.Rows[s], child.ParentJoinCols)
+				}
+				if gi, ok := child.groupIndex[k]; ok {
+					st.States[s].Groups[b] = gi
+				} else {
+					st.States[s].Groups[b] = -1
+				}
+			}
+		}
+	}
+	// Serialized order of unpruned stages.
+	for _, st := range g.Stages[1:] {
+		if !st.Pruned {
+			g.Serial = append(g.Serial, st.Index)
+		}
+	}
+	g.buildOutput(outVars)
+	return g, nil
+}
+
+func (g *Graph[W]) buildOutput(outVars []string) {
+	if outVars == nil {
+		seen := map[string]bool{}
+		for _, si := range g.Serial {
+			for _, v := range g.Stages[si].Vars {
+				if !seen[v] {
+					seen[v] = true
+					outVars = append(outVars, v)
+				}
+			}
+		}
+	}
+	g.OutVars = outVars
+	pos := map[string]int{}
+	for i, v := range outVars {
+		pos[v] = i
+	}
+	g.writeCols = make([][2][]int, len(g.Stages))
+	for _, si := range g.Serial {
+		st := g.Stages[si]
+		var cols, outs []int
+		for c, v := range st.Vars {
+			if p, ok := pos[v]; ok {
+				cols = append(cols, c)
+				outs = append(outs, p)
+			}
+		}
+		g.writeCols[si] = [2][]int{cols, outs}
+	}
+}
+
+// BottomUp runs the dynamic-programming pass of Eq. (7): in reverse
+// serialized order it computes every state's optimal subtree weight, folds
+// pruned branches into EffWeight, and shrinks every group to its alive
+// members with their costs and minimum. After BottomUp the graph is ready
+// for any enumerator. It returns the weight of the overall best solution
+// (Zero when the query output is empty).
+func (g *Graph[W]) BottomUp() W {
+	d := g.D
+	zero := d.Zero()
+	for idx := len(g.Stages) - 1; idx >= 0; idx-- {
+		st := g.Stages[idx]
+		for s := range st.States {
+			state := &st.States[s]
+			opt := state.Weight
+			eff := state.Weight
+			for b, cs := range st.ChildStages {
+				child := g.Stages[cs]
+				m := zero
+				if gi := state.Groups[b]; gi >= 0 {
+					m = child.Groups[gi].Min
+				}
+				opt = d.Times(opt, m)
+				if child.Pruned {
+					eff = d.Times(eff, m)
+				}
+			}
+			state.Opt = opt
+			state.EffWeight = eff
+		}
+		if idx == 0 {
+			break
+		}
+		for gi := range st.Groups {
+			grp := &st.Groups[gi]
+			grp.Members = grp.Members[:0]
+			grp.Costs = grp.Costs[:0]
+			grp.Min = zero
+			grp.MinIdx = -1
+			for _, m := range grp.all {
+				c := st.States[m].Opt
+				if !d.Less(c, zero) {
+					continue // dead state
+				}
+				grp.Members = append(grp.Members, m)
+				grp.Costs = append(grp.Costs, c)
+				if grp.MinIdx < 0 || d.Less(c, grp.Min) {
+					grp.Min = c
+					grp.MinIdx = int32(len(grp.Members) - 1)
+				}
+			}
+		}
+	}
+	return g.Stages[0].States[0].Opt
+}
+
+// Empty reports whether the query output is empty (only valid after
+// BottomUp).
+func (g *Graph[W]) Empty() bool {
+	opt := g.Stages[0].States[0].Opt
+	return !g.D.Less(opt, g.D.Zero())
+}
+
+// AssembleRow maps a solution (one state per stage, -1 for the root slot and
+// pruned stages) to an output row over OutVars.
+func (g *Graph[W]) AssembleRow(sol []int32, out []Value) []Value {
+	if cap(out) < len(g.OutVars) {
+		out = make([]Value, len(g.OutVars))
+	}
+	out = out[:len(g.OutVars)]
+	for _, si := range g.Serial {
+		s := sol[si]
+		if s < 0 {
+			continue
+		}
+		row := g.Stages[si].Rows[s]
+		wc := g.writeCols[si]
+		for i, c := range wc[0] {
+			out[wc[1][i]] = row[c]
+		}
+	}
+	return out
+}
+
+// NumStates returns the total number of states (diagnostics, size bounds).
+func (g *Graph[W]) NumStates() int {
+	n := 0
+	for _, st := range g.Stages {
+		n += len(st.States)
+	}
+	return n
+}
+
+func sharedVars(a, b []string) []string {
+	var out []string
+	for _, v := range a {
+		for _, w := range b {
+			if v == w {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func colsOf(vars []string, want []string) []int {
+	cols := make([]int, 0, len(want))
+	for _, w := range want {
+		for i, v := range vars {
+			if v == w {
+				cols = append(cols, i)
+				break
+			}
+		}
+	}
+	return cols
+}
+
+func keyAt(row []Value, cols []int) relation.Key {
+	if len(cols) == 0 {
+		return relation.MakeKey(nil)
+	}
+	if len(cols) == 1 {
+		return relation.MakeKey([]Value{row[cols[0]]})
+	}
+	vals := make([]Value, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c]
+	}
+	return relation.MakeKey(vals)
+}

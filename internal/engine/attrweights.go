@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"fmt"
+
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// WithAttributeWeights implements Section 6.1: ranking that also charges for
+// the *values* bound to variables, not just for tuples. For every entry
+// (variable → weight function) it materializes a unary relation over the
+// variable's active domain, weighted by the function, and extends the query
+// with a matching atom. The returned database aliases the original relations
+// (no copying) and the returned query remains acyclic whenever the input
+// was, since unary hyperedges are always ears.
+func WithAttributeWeights(db *relation.DB, q *query.CQ, weights map[string]func(relation.Value) float64) (*relation.DB, *query.CQ, error) {
+	ndb := relation.NewDB()
+	for _, name := range db.Names() {
+		ndb.Alias(name, db.Relation(name))
+	}
+	atoms := append([]query.Atom(nil), q.Atoms...)
+	for v, f := range weights {
+		// Active domain of v: all values appearing in a column bound to v.
+		dom := map[relation.Value]bool{}
+		found := false
+		for _, a := range q.Atoms {
+			r := db.Relation(a.Rel)
+			if r == nil {
+				return nil, nil, fmt.Errorf("relation %s not found", a.Rel)
+			}
+			for c, av := range a.Vars {
+				if av != v {
+					continue
+				}
+				found = true
+				for _, row := range r.Rows {
+					dom[row[c]] = true
+				}
+			}
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("attribute-weight variable %s does not occur in query %s", v, q.Name)
+		}
+		name := "W_" + v
+		if ndb.Relation(name) != nil {
+			return nil, nil, fmt.Errorf("relation name %s already taken", name)
+		}
+		wrel := relation.New(name, v)
+		for val := range dom {
+			wrel.Add(f(val), val)
+		}
+		ndb.AddRelation(wrel)
+		atoms = append(atoms, query.Atom{Rel: name, Vars: []string{v}})
+	}
+	nq := query.NewCQ(q.Name+"+attrw", q.Free, atoms...)
+	return ndb, nq, nil
+}

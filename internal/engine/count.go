@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"anyk/internal/core"
+	"anyk/internal/decomp"
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// CountResults returns the exact output size |out| of a full CQ without
+// materializing results, via the counting recurrence over the reduced DP
+// state space (O(n) for acyclic queries after the decomposition cost for
+// cycles). The experiment harness uses it to size panels and to skip Batch
+// when the full output would not fit in memory — mirroring the paper's
+// observation that Batch runs out of memory on inputs any-k handles easily.
+func CountResults(db *relation.DB, q *query.CQ) (float64, error) {
+	d := dioid.Tropical{}
+	if query.IsAcyclic(q) {
+		plan, err := query.FullPlan(q)
+		if err != nil {
+			return 0, err
+		}
+		inputs, err := stageInputs(db, plan, d, false)
+		if err != nil {
+			return 0, err
+		}
+		g, err := dpgraph.Build[float64](d, inputs, q.Vars())
+		if err != nil {
+			return 0, err
+		}
+		g.BottomUp()
+		return core.Count(g), nil
+	}
+	shape, err := decomp.DetectCycle(q)
+	if err != nil {
+		return 0, err
+	}
+	trees, err := decomp.Decompose[float64](d, db, shape)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, tr := range trees {
+		g, err := dpgraph.Build[float64](d, tr.Inputs, q.Vars())
+		if err != nil {
+			return 0, err
+		}
+		g.BottomUp()
+		total += core.Count(g)
+	}
+	return total, nil
+}

@@ -1,0 +1,276 @@
+// Package engine is the public API of the library: it routes a conjunctive
+// query to the right any-k machinery — acyclic full CQs through a join-tree
+// T-DP, simple cycles through the heavy/light UT-DP union, and free-connex
+// projections through the pruned connex T-DP — and returns a ranked iterator
+// over output rows.
+//
+// Typical use:
+//
+//	it, err := engine.Enumerate[float64](db, query.PathQuery(4), dioid.Tropical{}, core.Take2)
+//	for {
+//		row, ok := it.Next()
+//		if !ok { break }
+//		fmt.Println(row.Vals, row.Weight)
+//	}
+package engine
+
+import (
+	"fmt"
+
+	"anyk/internal/core"
+	"anyk/internal/decomp"
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Semantics selects how projections are ranked (Section 8.1).
+type Semantics int
+
+const (
+	// AllWeights enumerates the full query and projects each result,
+	// keeping duplicates with their individual witness weights.
+	AllWeights Semantics = iota
+	// MinWeight returns each distinct projected row once, ranked by the
+	// minimum weight over its witnesses; requires a free-connex query.
+	MinWeight
+)
+
+// Options tunes Enumerate.
+type Options struct {
+	// Semantics applies to queries with projections; ignored for full CQs.
+	Semantics Semantics
+	// Dedup filters consecutive duplicate rows (useful with overlapping
+	// decompositions; the built-in cycle decomposition is disjoint and does
+	// not need it).
+	Dedup bool
+}
+
+// Iterator is a ranked stream of output rows.
+type Iterator[W any] struct {
+	// Vars is the output schema (order of Row.Vals).
+	Vars []string
+	it   core.RowIter[W]
+	// Trees reports how many T-DP problems the query decomposed into
+	// (1 for acyclic queries, ℓ+1 for ℓ-cycles).
+	Trees int
+}
+
+// Next returns the next row in rank order.
+func (it *Iterator[W]) Next() (core.Row[W], bool) { return it.it.Next() }
+
+// Drain collects up to k rows (k ≤ 0 drains everything).
+func (it *Iterator[W]) Drain(k int) []core.Row[W] {
+	var out []core.Row[W]
+	for k <= 0 || len(out) < k {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Enumerate ranks the answers of q over db under dioid d using the given
+// any-k algorithm.
+func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opts ...Options) (*Iterator[W], error) {
+	var opt Options
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	if query.IsAcyclic(q) {
+		return enumerateAcyclic(db, q, d, alg, opt)
+	}
+	if !q.IsFull() {
+		return nil, fmt.Errorf("query %s: projections over cyclic queries are not supported", q.Name)
+	}
+	shape, err := decomp.DetectCycle(q)
+	if err != nil {
+		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (general decompositions can be supplied via EnumerateUnion): %w", q.Name, err)
+	}
+	trees, err := decomp.Decompose[W](d, db, shape)
+	if err != nil {
+		return nil, err
+	}
+	inputs := make([][]dpgraph.StageInput[W], len(trees))
+	for i, tr := range trees {
+		inputs[i] = tr.Inputs
+	}
+	return EnumerateUnion[W](d, inputs, q.Vars(), alg, opt)
+}
+
+// EnumerateUnion runs the UT-DP framework (Section 5.2) over an arbitrary
+// union of T-DP stage-input trees — the hook for plugging in any
+// decomposition, as the paper's framework promises.
+func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, alg core.Algorithm, opt Options) (*Iterator[W], error) {
+	iters := make([]core.RowIter[W], 0, len(trees))
+	for i, inputs := range trees {
+		g, err := dpgraph.Build[W](d, inputs, outVars)
+		if err != nil {
+			return nil, fmt.Errorf("tree %d: %w", i, err)
+		}
+		g.BottomUp()
+		if g.Empty() {
+			continue
+		}
+		iters = append(iters, core.NewGraphIter[W](g, core.New[W](g, alg), i))
+	}
+	var it core.RowIter[W]
+	switch len(iters) {
+	case 0:
+		it = emptyIter[W]{}
+	case 1:
+		it = iters[0]
+	default:
+		it = core.NewUnion[W](d, iters...)
+	}
+	if opt.Dedup {
+		it = core.NewDedup[W](it)
+	}
+	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees)}, nil
+}
+
+func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt Options) (*Iterator[W], error) {
+	var plan *query.Plan
+	var err error
+	minWeight := !q.IsFull() && opt.Semantics == MinWeight
+	if minWeight {
+		plan, err = query.ConnexPlan(q)
+	} else {
+		plan, err = query.FullPlan(q)
+	}
+	if err != nil {
+		return nil, err
+	}
+	inputs, err := stageInputs(db, plan, d, minWeight)
+	if err != nil {
+		return nil, err
+	}
+	outVars := q.FreeVars()
+	g, err := dpgraph.Build[W](d, inputs, outVars)
+	if err != nil {
+		return nil, err
+	}
+	g.BottomUp()
+	var it core.RowIter[W] = core.NewGraphIter[W](g, core.New[W](g, alg), 0)
+	if opt.Dedup {
+		it = core.NewDedup[W](it)
+	}
+	return &Iterator[W]{Vars: outVars, it: it, Trees: 1}, nil
+}
+
+// stageInputs materializes the plan's nodes: full nodes carry the relation's
+// rows with lifted weights (stage index = atom index, so lexicographic and
+// tie-break dioids see the query's atom order); projected connex nodes carry
+// distinct projections with weight 1̄ (their real weights arrive from the
+// pruned originals below, Thm 20); pure connex nodes deduplicate keeping the
+// Plus-minimal weight.
+func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], minWeightQuery bool) ([]dpgraph.StageInput[W], error) {
+	order := plan.Order
+	posOf := make([]int, len(plan.Nodes))
+	for pos, ni := range order {
+		posOf[ni] = pos
+	}
+	inputs := make([]dpgraph.StageInput[W], len(order))
+	for pos, ni := range order {
+		node := plan.Nodes[ni]
+		atom := plan.Q.Atoms[node.Atom]
+		rel := db.Relation(atom.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("relation %s not found", atom.Rel)
+		}
+		parent := -1
+		if node.Parent >= 0 {
+			parent = posOf[node.Parent]
+		}
+		in := dpgraph.StageInput[W]{
+			Name:   fmt.Sprintf("%s[%s]", atom.Rel, varList(node.Vars)),
+			Vars:   node.Vars,
+			Parent: parent,
+			Prune:  node.Prune,
+		}
+		projected := len(node.Vars) < len(atom.Vars)
+		cols := make([]int, len(node.Vars))
+		for i, v := range node.Vars {
+			c := -1
+			for j, av := range atom.Vars {
+				if av == v {
+					c = j
+					break
+				}
+			}
+			if c < 0 {
+				return nil, fmt.Errorf("plan node %d: variable %s not in atom %s", ni, v, atom.Rel)
+			}
+			cols[i] = c
+		}
+		switch {
+		case projected:
+			// Distinct projections with neutral weight.
+			seen := map[relation.Key]bool{}
+			for r := range rel.Rows {
+				row := rel.Project(r, cols)
+				k := relation.MakeKey(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				in.Rows = append(in.Rows, row)
+				in.Weights = append(in.Weights, d.One())
+			}
+		case minWeightQuery && !node.Prune:
+			// Pure connex node: dedupe rows, keep the minimal weight.
+			best := map[relation.Key]int{}
+			for r := range rel.Rows {
+				row := rel.Project(r, cols)
+				k := relation.MakeKey(row)
+				w := d.Lift(rel.Weights[r], node.Atom, int64(r))
+				if i, ok := best[k]; ok {
+					in.Weights[i] = d.Plus(in.Weights[i], w)
+					continue
+				}
+				best[k] = len(in.Rows)
+				in.Rows = append(in.Rows, row)
+				in.Weights = append(in.Weights, w)
+			}
+		default:
+			in.Rows = make([][]relation.Value, rel.Size())
+			in.Weights = make([]W, rel.Size())
+			for r := range rel.Rows {
+				in.Rows[r] = rel.Project(r, cols)
+				in.Weights[r] = d.Lift(rel.Weights[r], node.Atom, int64(r))
+			}
+		}
+		inputs[pos] = in
+	}
+	return inputs, nil
+}
+
+func varList(vs []string) string {
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += ","
+		}
+		s += v
+	}
+	return s
+}
+
+type emptyIter[W any] struct{}
+
+func (emptyIter[W]) Next() (core.Row[W], bool) { return core.Row[W]{}, false }
+
+// BooleanQuery answers the Boolean version QB of q (Section 6.4): it runs
+// any-k under the Boolean dioid with the inverted order and reports whether
+// a first answer exists, in the same time bound as the top-ranked result.
+func BooleanQuery(db *relation.DB, q *query.CQ) (bool, error) {
+	it, err := Enumerate[bool](db, q, dioid.Boolean{}, core.Take2)
+	if err != nil {
+		return false, err
+	}
+	_, ok := it.Next()
+	return ok, nil
+}

@@ -1,0 +1,81 @@
+// Package homom applies the any-k framework to the Minimum Cost
+// Homomorphism problem of Section 8.2: finding (and ranking) the
+// homomorphisms from a pattern graph H into an edge-weighted target graph G.
+// The well-known equivalence of CQ evaluation and homomorphism checking maps
+// each pattern edge to a query atom over the target's edge relation; ranked
+// enumeration of the query results is exactly ranked enumeration of
+// homomorphisms, with the MCH-DP recurrence (Algorithm 3) realized by the
+// bottom-up pass of the T-DP state space.
+package homom
+
+import (
+	"fmt"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// PatternEdge is a directed edge of the pattern graph between named pattern
+// vertices (the homomorphism's variables).
+type PatternEdge struct {
+	From, To string
+}
+
+// Homomorphism is one ranked result: an assignment of pattern vertices to
+// target nodes and its cost (the ⊗-aggregate of the mapped edges' weights).
+type Homomorphism struct {
+	Assignment map[string]relation.Value
+	Cost       float64
+}
+
+// Enumerate ranks all homomorphisms from the pattern into the weighted
+// target edge relation (columns: from, to) by ascending total edge weight.
+// Acyclic patterns (trees) run with TTF = O(n); simple-cycle patterns go
+// through the heavy/light decomposition; other patterns are rejected.
+func Enumerate(pattern []PatternEdge, target *relation.Relation, alg core.Algorithm) (func() (Homomorphism, bool), error) {
+	if len(pattern) == 0 {
+		return nil, fmt.Errorf("homom: empty pattern")
+	}
+	if target.Arity() != 2 {
+		return nil, fmt.Errorf("homom: target must be a binary edge relation, got arity %d", target.Arity())
+	}
+	db := relation.NewDB()
+	db.AddRelation(target)
+	atoms := make([]query.Atom, len(pattern))
+	for i, e := range pattern {
+		name := fmt.Sprintf("%s#%d", target.Name, i)
+		db.Alias(name, target)
+		atoms[i] = query.Atom{Rel: name, Vars: []string{e.From, e.To}}
+	}
+	q := query.NewCQ("hom", nil, atoms...)
+	it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg)
+	if err != nil {
+		return nil, err
+	}
+	vars := it.Vars
+	return func() (Homomorphism, bool) {
+		row, ok := it.Next()
+		if !ok {
+			return Homomorphism{}, false
+		}
+		h := Homomorphism{Assignment: make(map[string]relation.Value, len(vars)), Cost: row.Weight}
+		for i, v := range vars {
+			h.Assignment[v] = row.Vals[i]
+		}
+		return h, true
+	}, nil
+}
+
+// MinCost solves the decision+optimization MCH problem (Definition 26):
+// whether a homomorphism exists and, if so, one of minimum cost.
+func MinCost(pattern []PatternEdge, target *relation.Relation) (Homomorphism, bool, error) {
+	next, err := Enumerate(pattern, target, core.Take2)
+	if err != nil {
+		return Homomorphism{}, false, err
+	}
+	h, ok := next()
+	return h, ok, nil
+}

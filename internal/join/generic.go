@@ -1,0 +1,176 @@
+// Package join implements the batch join baselines of the paper: the
+// worst-case-optimal Generic-Join / NPRR algorithm (Section 9.1.1) used by
+// Batch on cyclic queries, the Yannakakis algorithm for acyclic queries, a
+// conventional left-deep binary hash-join engine (the PostgreSQL stand-in of
+// Fig. 14), and a sorted-access Rank-Join baseline (Section 9.1.3).
+package join
+
+import (
+	"fmt"
+	"sort"
+
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Result is one output tuple of a batch join: values over the query's
+// variables in first-occurrence order plus the summed witness weight.
+type Result struct {
+	Vals   []relation.Value
+	Weight float64
+}
+
+// SortResults orders results by ascending weight (the sort phase of Batch).
+func SortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Weight < rs[j].Weight })
+}
+
+// trie is a hash trie over an atom's tuples, keyed by the atom's variables
+// in global variable order. Leaves (depth == arity) carry the weights of the
+// tuples collapsing to that leaf (bag semantics).
+type trie struct {
+	depth    int
+	children map[relation.Value]*trie
+	weights  []float64
+}
+
+func newTrie(depth int) *trie { return &trie{depth: depth, children: map[relation.Value]*trie{}} }
+
+func (t *trie) insert(vals []relation.Value, w float64) {
+	node := t
+	for _, v := range vals {
+		c := node.children[v]
+		if c == nil {
+			c = newTrie(node.depth + 1)
+			node.children[v] = c
+		}
+		node = c
+	}
+	node.weights = append(node.weights, w)
+}
+
+type gjAtom struct {
+	root *trie
+	// nextVarAt[v] = d+1 when global variable v is the (d+1)-th variable of
+	// this atom in global order; 0 when absent.
+	nextVarAt []int
+	arity     int
+}
+
+// GenericJoin evaluates a full CQ with the worst-case-optimal generic join
+// (NPRR / Generic-Join of Ngo et al.): variables are bound one at a time in
+// global order; at each step the atom with the fewest continuations leads
+// and all other atoms containing the variable are probed by hash. Weights of
+// witnesses are summed (tropical ⊗); duplicates from bag semantics are
+// expanded.
+func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
+	vars := q.Vars()
+	varPos := map[string]int{}
+	for i, v := range vars {
+		varPos[v] = i
+	}
+	atoms := make([]gjAtom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		r := db.Relation(a.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("relation %s not found", a.Rel)
+		}
+		order := make([]int, len(a.Vars))
+		for j := range order {
+			order[j] = j
+		}
+		sort.Slice(order, func(x, y int) bool { return varPos[a.Vars[order[x]]] < varPos[a.Vars[order[y]]] })
+		atoms[i] = gjAtom{root: newTrie(0), nextVarAt: make([]int, len(vars)), arity: len(a.Vars)}
+		for d, c := range order {
+			atoms[i].nextVarAt[varPos[a.Vars[c]]] = d + 1
+		}
+		buf := make([]relation.Value, len(order))
+		for rIdx, row := range r.Rows {
+			for d, c := range order {
+				buf[d] = row[c]
+			}
+			atoms[i].root.insert(buf, r.Weights[rIdx])
+		}
+	}
+	nodes := make([]*trie, len(atoms))
+	for i := range atoms {
+		nodes[i] = atoms[i].root
+	}
+	assignment := make([]relation.Value, len(vars))
+	var out []Result
+	emit := func(w float64) {
+		out = append(out, Result{Vals: append([]relation.Value(nil), assignment...), Weight: w})
+	}
+	var rec func(v int, w float64)
+	rec = func(v int, w float64) {
+		if v == len(vars) {
+			emit(w)
+			return
+		}
+		var active []int
+		for i := range atoms {
+			if atoms[i].nextVarAt[v] == nodes[i].depth+1 {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			rec(v+1, w) // unconstrained variable (disconnected queries)
+			return
+		}
+		lead := active[0]
+		for _, i := range active[1:] {
+			if len(nodes[i].children) < len(nodes[lead].children) {
+				lead = i
+			}
+		}
+		saved := make([]*trie, len(active))
+		for ai, i := range active {
+			saved[ai] = nodes[i]
+		}
+		for val, leadChild := range nodes[lead].children {
+			ok := true
+			for _, i := range active {
+				if i == lead {
+					continue
+				}
+				if nodes[i].children[val] == nil {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			var completed [][]float64
+			for _, i := range active {
+				if i == lead {
+					nodes[i] = leadChild
+				} else {
+					nodes[i] = nodes[i].children[val]
+				}
+				if nodes[i].depth == atoms[i].arity {
+					completed = append(completed, nodes[i].weights)
+				}
+			}
+			assignment[v] = val
+			expandWitnesses(completed, 0, w, func(w2 float64) { rec(v+1, w2) })
+			for ai, i := range active {
+				nodes[i] = saved[ai]
+			}
+		}
+	}
+	rec(0, 0)
+	return out, nil
+}
+
+// expandWitnesses enumerates the Cartesian product of the completed atoms'
+// duplicate-weight lists, summing one weight from each.
+func expandWitnesses(completed [][]float64, ci int, w float64, f func(float64)) {
+	if ci == len(completed) {
+		f(w)
+		return
+	}
+	for _, wi := range completed[ci] {
+		expandWitnesses(completed, ci+1, w+wi, f)
+	}
+}

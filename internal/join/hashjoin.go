@@ -1,0 +1,240 @@
+package join
+
+import (
+	"fmt"
+
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// HashJoinPlan evaluates a full CQ with a conventional left-deep pipeline of
+// binary hash joins in atom order, materializing every intermediate result —
+// the behaviour of a classical RDBMS executor. It stands in for PostgreSQL
+// in the Fig. 14 comparison (see DESIGN.md substitutions).
+func HashJoinPlan(db *relation.DB, q *query.CQ) ([]Result, error) {
+	vars := q.Vars()
+	varPos := map[string]int{}
+	for i, v := range vars {
+		varPos[v] = i
+	}
+	type inter struct {
+		vals []relation.Value // dense over vars; valid only where bound
+		w    float64
+	}
+	bound := make([]bool, len(vars))
+	var cur []inter
+
+	for ai, a := range q.Atoms {
+		r := db.Relation(a.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("relation %s not found", a.Rel)
+		}
+		cols := make([]int, len(a.Vars))
+		shared := make([]bool, len(a.Vars))
+		for j, v := range a.Vars {
+			cols[j] = varPos[v]
+			shared[j] = bound[cols[j]]
+		}
+		if ai == 0 {
+			for i, row := range r.Rows {
+				t := inter{vals: make([]relation.Value, len(vars)), w: r.Weights[i]}
+				for j, c := range cols {
+					t.vals[c] = row[j]
+				}
+				cur = append(cur, t)
+			}
+		} else {
+			// Build hash on the atom's shared columns, probe intermediates.
+			idx := map[relation.Key][]int{}
+			var sharedAtomCols []int
+			for j := range a.Vars {
+				if shared[j] {
+					sharedAtomCols = append(sharedAtomCols, j)
+				}
+			}
+			keyOf := func(row []relation.Value) relation.Key {
+				ks := make([]relation.Value, len(sharedAtomCols))
+				for i, j := range sharedAtomCols {
+					ks[i] = row[j]
+				}
+				return relation.MakeKey(ks)
+			}
+			for i, row := range r.Rows {
+				idx[keyOf(row)] = append(idx[keyOf(row)], i)
+			}
+			var next []inter
+			probe := make([]relation.Value, len(sharedAtomCols))
+			for _, t := range cur {
+				for i, j := range sharedAtomCols {
+					probe[i] = t.vals[cols[j]]
+				}
+				for _, ri := range idx[relation.MakeKey(probe)] {
+					nt := inter{vals: append([]relation.Value(nil), t.vals...), w: t.w + r.Weights[ri]}
+					for j, c := range cols {
+						nt.vals[c] = r.Rows[ri][j]
+					}
+					next = append(next, nt)
+				}
+			}
+			cur = next
+		}
+		for _, c := range cols {
+			bound[c] = true
+		}
+	}
+	out := make([]Result, len(cur))
+	for i, t := range cur {
+		out[i] = Result{Vals: t.vals, Weight: t.w}
+	}
+	return out, nil
+}
+
+// Yannakakis evaluates a full acyclic CQ with the classic three-phase
+// Yannakakis algorithm: bottom-up semi-join reduction along a join tree,
+// top-down reduction, then join. Runs in O(n + |out|) data complexity. This
+// is an implementation independent of the DP-graph machinery, used both as
+// the Batch substrate and as a cross-check in tests.
+func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
+	t, err := query.BuildJoinTree(q)
+	if err != nil {
+		return nil, err
+	}
+	vars := q.Vars()
+	varPos := map[string]int{}
+	for i, v := range vars {
+		varPos[v] = i
+	}
+	n := len(q.Atoms)
+	type node struct {
+		rows    [][]relation.Value
+		weights []float64
+		keep    []bool
+		joinC   []int // columns joining with parent
+		parentC []int // parent columns for the same vars
+	}
+	nodes := make([]*node, n)
+	for i, a := range q.Atoms {
+		r := db.Relation(a.Rel)
+		if r == nil {
+			return nil, fmt.Errorf("relation %s not found", a.Rel)
+		}
+		nd := &node{rows: r.Rows, weights: r.Weights, keep: make([]bool, r.Size())}
+		for j := range nd.keep {
+			nd.keep[j] = true
+		}
+		if p := t.Parent[i]; p >= 0 {
+			jv := t.JoinVars(i)
+			nd.joinC = colsIn(a.Vars, jv)
+			nd.parentC = colsIn(q.Atoms[p].Vars, jv)
+		}
+		nodes[i] = nd
+	}
+	keySet := func(nd *node, cols []int) map[relation.Key]bool {
+		s := map[relation.Key]bool{}
+		for j, row := range nd.rows {
+			if !nd.keep[j] {
+				continue
+			}
+			s[keyOfCols(row, cols)] = true
+		}
+		return s
+	}
+	// Bottom-up semi-joins (reverse preorder).
+	for oi := len(t.Order) - 1; oi >= 0; oi-- {
+		i := t.Order[oi]
+		p := t.Parent[i]
+		if p < 0 {
+			continue
+		}
+		have := keySet(nodes[i], nodes[i].joinC)
+		pn := nodes[p]
+		for j, row := range pn.rows {
+			if pn.keep[j] && !have[keyOfCols(row, nodes[i].parentC)] {
+				pn.keep[j] = false
+			}
+		}
+	}
+	// Top-down semi-joins (preorder).
+	for _, i := range t.Order {
+		p := t.Parent[i]
+		if p < 0 {
+			continue
+		}
+		have := keySet(nodes[p], nodes[i].parentC)
+		nd := nodes[i]
+		for j, row := range nd.rows {
+			if nd.keep[j] && !have[keyOfCols(row, nd.joinC)] {
+				nd.keep[j] = false
+			}
+		}
+	}
+	// Join phase: backtracking along the preorder with hash indexes.
+	idx := make([]map[relation.Key][]int, n)
+	for _, i := range t.Order {
+		if t.Parent[i] < 0 {
+			continue
+		}
+		m := map[relation.Key][]int{}
+		nd := nodes[i]
+		for j, row := range nd.rows {
+			if nd.keep[j] {
+				k := keyOfCols(row, nd.joinC)
+				m[k] = append(m[k], j)
+			}
+		}
+		idx[i] = m
+	}
+	assignment := make([]relation.Value, len(vars))
+	chosen := make([]int, n)
+	var out []Result
+	var rec func(oi int, w float64)
+	rec = func(oi int, w float64) {
+		if oi == len(t.Order) {
+			out = append(out, Result{Vals: append([]relation.Value(nil), assignment...), Weight: w})
+			return
+		}
+		i := t.Order[oi]
+		nd := nodes[i]
+		var cands []int
+		if p := t.Parent[i]; p < 0 {
+			for j := range nd.rows {
+				if nd.keep[j] {
+					cands = append(cands, j)
+				}
+			}
+		} else {
+			prow := nodes[t.Parent[i]].rows[chosen[t.Parent[i]]]
+			cands = idx[i][keyOfCols(prow, nd.parentC)]
+		}
+		for _, j := range cands {
+			chosen[i] = j
+			for c, v := range q.Atoms[i].Vars {
+				assignment[varPos[v]] = nd.rows[j][c]
+			}
+			rec(oi+1, w+nd.weights[j])
+		}
+	}
+	rec(0, 0)
+	return out, nil
+}
+
+func colsIn(vars []string, want []string) []int {
+	cols := make([]int, 0, len(want))
+	for _, w := range want {
+		for i, v := range vars {
+			if v == w {
+				cols = append(cols, i)
+				break
+			}
+		}
+	}
+	return cols
+}
+
+func keyOfCols(row []relation.Value, cols []int) relation.Key {
+	vals := make([]relation.Value, len(cols))
+	for i, c := range cols {
+		vals[i] = row[c]
+	}
+	return relation.MakeKey(vals)
+}

@@ -1,0 +1,223 @@
+package join
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"anyk/internal/heapq"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// RankJoinStats reports the work done by RankJoin, for the Section 9.1.3
+// comparison: top-k middleware algorithms charge only for sorted accesses,
+// but joinedPairs exposes the hidden intermediate-result cost on adversarial
+// inputs like I2 (Fig. 19).
+type RankJoinStats struct {
+	SortedAccesses int
+	JoinedPartial  int // partial combinations materialized
+}
+
+// RankJoin is an HRJN-style multi-way rank join over a *chain* CQ:
+// consecutive atoms share exactly one variable (paths, and the I2 instance).
+// Relations are consumed in ascending weight order via round-robin sorted
+// access; each new tuple joins against the already-seen pools of its
+// neighbours, and buffered results are emitted once their weight is at or
+// below the corner-bound threshold. Returns the top-k results.
+func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, error) {
+	var stats RankJoinStats
+	l := len(q.Atoms)
+	if l < 2 {
+		return nil, stats, fmt.Errorf("rank join needs at least 2 atoms")
+	}
+	vars := q.Vars()
+	varPos := map[string]int{}
+	for i, v := range vars {
+		varPos[v] = i
+	}
+	// Verify chain shape and find the shared variable columns.
+	rels := make([]*relation.Relation, l)
+	leftCol := make([]int, l)  // column joining with previous atom (-1 for first)
+	rightCol := make([]int, l) // column joining with next atom (-1 for last)
+	for i, a := range q.Atoms {
+		rels[i] = db.Relation(a.Rel)
+		if rels[i] == nil {
+			return nil, stats, fmt.Errorf("relation %s not found", a.Rel)
+		}
+		leftCol[i], rightCol[i] = -1, -1
+		if i > 0 {
+			sv := query.Intersect(a.Vars, q.Atoms[i-1].Vars)
+			if len(sv) != 1 {
+				return nil, stats, fmt.Errorf("atoms %d,%d do not chain on one variable", i-1, i)
+			}
+			leftCol[i] = colsIn(a.Vars, sv)[0]
+			rightCol[i-1] = colsIn(q.Atoms[i-1].Vars, sv)[0]
+		}
+	}
+	// Sorted access order per relation.
+	order := make([][]int, l)
+	for i, r := range rels {
+		o := make([]int, r.Size())
+		for j := range o {
+			o[j] = j
+		}
+		sort.Slice(o, func(x, y int) bool { return r.Weights[o[x]] < r.Weights[o[y]] })
+		order[i] = o
+	}
+	// Seen pools with hash indexes on the left-shared column.
+	pools := make([][]int, l)
+	leftIdx := make([]map[relation.Value][]int, l)
+	for i := range leftIdx {
+		leftIdx[i] = map[relation.Value][]int{}
+	}
+	pos := make([]int, l) // next sorted-access position
+	lastSeen := make([]float64, l)
+	first := make([]float64, l) // cheapest weight per relation
+	for i, r := range rels {
+		if r.Size() == 0 {
+			return nil, stats, nil
+		}
+		first[i] = r.Weights[order[i][0]]
+		lastSeen[i] = first[i]
+	}
+	buf := heapq.New[Result](64, func(a, b Result) bool { return a.Weight < b.Weight })
+	var out []Result
+	// threshold is the corner bound: every unseen result contains at least
+	// one tuple no lighter than some relation's lastSeen, so its weight is
+	// at least min_i (lastSeen_i + Σ_{j≠i} first_j). Buffered results at or
+	// below it are safe to emit.
+	threshold := func() float64 {
+		t := math.Inf(1)
+		for i := range rels {
+			s := lastSeen[i]
+			for j := range rels {
+				if j != i {
+					s += first[j]
+				}
+			}
+			if s < t {
+				t = s
+			}
+		}
+		return t
+	}
+	// join extends tuple ri of relation i in both directions using pools.
+	emitJoins := func(i, ri int) {
+		// partials to the left of i, ending at column value of leftCol.
+		leftParts := [][]int{{ri}}
+		for p := i - 1; p >= 0; p-- {
+			var next [][]int
+			for _, part := range leftParts {
+				headRel, headRow := p+1, part[0]
+				join := rels[headRel].Rows[headRow][leftCol[headRel]]
+				for _, cand := range leftIdxLookupRight(rels, pools, p, rightCol[p], join) {
+					stats.JoinedPartial++
+					next = append(next, append([]int{cand}, part...))
+				}
+			}
+			leftParts = next
+			if len(leftParts) == 0 {
+				return
+			}
+		}
+		// extend to the right
+		parts := leftParts
+		for p := i + 1; p < l; p++ {
+			var next [][]int
+			for _, part := range parts {
+				tailRow := part[len(part)-1]
+				join := rels[p-1].Rows[tailRow][rightCol[p-1]]
+				for _, cand := range leftIdx[p][join] {
+					stats.JoinedPartial++
+					next = append(next, append(append([]int(nil), part...), cand))
+				}
+			}
+			parts = next
+			if len(parts) == 0 {
+				return
+			}
+		}
+		for _, part := range parts {
+			w := 0.0
+			valsOut := make([]relation.Value, len(vars))
+			for ai, row := range part {
+				w += rels[ai].Weights[row]
+				for c, v := range q.Atoms[ai].Vars {
+					valsOut[varPos[v]] = rels[ai].Rows[row][c]
+				}
+			}
+			buf.Push(Result{Vals: valsOut, Weight: w})
+		}
+	}
+	exhausted := 0
+	for exhausted < l && len(out) < k {
+		for i := 0; i < l && len(out) < k; i++ {
+			if pos[i] >= len(order[i]) {
+				continue
+			}
+			ri := order[i][pos[i]]
+			pos[i]++
+			stats.SortedAccesses++
+			lastSeen[i] = rels[i].Weights[ri]
+			// add to pool before joining so self-neighbour pools are correct
+			pools[i] = append(pools[i], ri)
+			if leftCol[i] >= 0 {
+				v := rels[i].Rows[ri][leftCol[i]]
+				leftIdx[i][v] = append(leftIdx[i][v], ri)
+			}
+			emitJoins(i, ri)
+			// Emit buffered results within the threshold.
+			for {
+				top, ok := buf.Peek()
+				if !ok || top.Weight > threshold() {
+					break
+				}
+				r, _ := buf.Pop()
+				out = append(out, r)
+				if len(out) >= k {
+					break
+				}
+			}
+			if pos[i] >= len(order[i]) {
+				lastSeen[i] = maxf(lastSeen[i], 1e308) // relation drained
+			}
+		}
+		exhausted = 0
+		for i := range pos {
+			if pos[i] >= len(order[i]) {
+				exhausted++
+			}
+		}
+		if exhausted == l {
+			for len(out) < k {
+				r, ok := buf.Pop()
+				if !ok {
+					break
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, stats, nil
+}
+
+// leftIdxLookupRight finds pool members of relation p whose rightCol value
+// equals join; the right column has no standing index, so scan the pool
+// (adequate for the adversarial demonstrations this baseline exists for).
+func leftIdxLookupRight(rels []*relation.Relation, pools [][]int, p, col int, join relation.Value) []int {
+	var out []int
+	for _, ri := range pools[p] {
+		if rels[p].Rows[ri][col] == join {
+			out = append(out, ri)
+		}
+	}
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

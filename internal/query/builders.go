@@ -1,0 +1,59 @@
+package query
+
+import "fmt"
+
+// PathQuery returns the ℓ-path query of Example 2:
+// QPℓ(x) :- R1(x1,x2), R2(x2,x3), ..., Rℓ(xℓ,xℓ+1).
+func PathQuery(l int) *CQ {
+	atoms := make([]Atom, l)
+	for i := 0; i < l; i++ {
+		atoms[i] = Atom{
+			Rel:  fmt.Sprintf("R%d", i+1),
+			Vars: []string{xvar(i + 1), xvar(i + 2)},
+		}
+	}
+	return NewCQ(fmt.Sprintf("QP%d", l), nil, atoms...)
+}
+
+// CycleQuery returns the ℓ-cycle query of Example 2:
+// QCℓ(x) :- R1(x1,x2), ..., Rℓ(xℓ,x1).
+func CycleQuery(l int) *CQ {
+	atoms := make([]Atom, l)
+	for i := 0; i < l; i++ {
+		last := xvar(i + 2)
+		if i == l-1 {
+			last = xvar(1)
+		}
+		atoms[i] = Atom{
+			Rel:  fmt.Sprintf("R%d", i+1),
+			Vars: []string{xvar(i + 1), last},
+		}
+	}
+	return NewCQ(fmt.Sprintf("QC%d", l), nil, atoms...)
+}
+
+// StarQuery returns the ℓ-star query used in the experiments: R1 is the
+// center, joined on its first variable with ℓ-1 satellites:
+// QSℓ(x) :- R1(x1,x2), R2(x1,x3), ..., Rℓ(x1,xℓ+1).
+func StarQuery(l int) *CQ {
+	atoms := make([]Atom, l)
+	for i := 0; i < l; i++ {
+		atoms[i] = Atom{
+			Rel:  fmt.Sprintf("R%d", i+1),
+			Vars: []string{xvar(1), xvar(i + 2)},
+		}
+	}
+	return NewCQ(fmt.Sprintf("QS%d", l), nil, atoms...)
+}
+
+// CartesianQuery returns the Cartesian product R1 × ... × Rℓ over unary
+// relations (the running Example 6).
+func CartesianQuery(l int) *CQ {
+	atoms := make([]Atom, l)
+	for i := 0; i < l; i++ {
+		atoms[i] = Atom{Rel: fmt.Sprintf("R%d", i+1), Vars: []string{xvar(i + 1)}}
+	}
+	return NewCQ(fmt.Sprintf("QX%d", l), nil, atoms...)
+}
+
+func xvar(i int) string { return fmt.Sprintf("x%d", i) }

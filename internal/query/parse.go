@@ -1,0 +1,109 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a conjunctive query in Datalog notation, e.g.
+//
+//	Q(x1,x4) :- R1(x1,x2), R2(x2,x3), R3(x3,x4)
+//
+// The head lists the free variables; `Q(*)` (or repeating every variable)
+// makes the query full. Identifiers are letters/digits/underscores starting
+// with a letter. Whitespace is insignificant; a trailing period is allowed.
+func Parse(s string) (*CQ, error) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "."))
+	head, body, ok := strings.Cut(s, ":-")
+	if !ok {
+		return nil, fmt.Errorf("query %q: missing ':-'", s)
+	}
+	name, headVars, err := parseAtom(head)
+	if err != nil {
+		return nil, fmt.Errorf("head: %w", err)
+	}
+	var atoms []Atom
+	rest := strings.TrimSpace(body)
+	for len(rest) > 0 {
+		close := strings.IndexByte(rest, ')')
+		if close < 0 {
+			return nil, fmt.Errorf("body: unterminated atom in %q", rest)
+		}
+		rel, vars, err := parseAtom(rest[:close+1])
+		if err != nil {
+			return nil, fmt.Errorf("body: %w", err)
+		}
+		atoms = append(atoms, Atom{Rel: rel, Vars: vars})
+		rest = strings.TrimSpace(rest[close+1:])
+		if strings.HasPrefix(rest, ",") {
+			rest = strings.TrimSpace(rest[1:])
+			if rest == "" {
+				return nil, fmt.Errorf("body: trailing comma")
+			}
+		} else if rest != "" {
+			return nil, fmt.Errorf("body: expected ',' before %q", rest)
+		}
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("query %q has no atoms", s)
+	}
+	q := NewCQ(name, nil, atoms...)
+	if len(headVars) == 1 && headVars[0] == "*" {
+		return q, nil
+	}
+	all := map[string]bool{}
+	for _, v := range q.Vars() {
+		all[v] = true
+	}
+	for _, v := range headVars {
+		if !all[v] {
+			return nil, fmt.Errorf("head variable %s does not occur in the body", v)
+		}
+	}
+	q.Free = headVars
+	if q.IsFull() {
+		q.Free = nil
+	}
+	return q, nil
+}
+
+// parseAtom reads `Name(v1,v2,...)`.
+func parseAtom(s string) (name string, vars []string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return "", nil, fmt.Errorf("malformed atom %q", s)
+	}
+	name = strings.TrimSpace(s[:open])
+	if !ident(name) {
+		return "", nil, fmt.Errorf("bad relation/query name %q", name)
+	}
+	inner := strings.TrimSpace(s[open+1 : len(s)-1])
+	if inner == "" {
+		return "", nil, fmt.Errorf("atom %s has no variables", name)
+	}
+	for _, part := range strings.Split(inner, ",") {
+		v := strings.TrimSpace(part)
+		if v != "*" && !ident(v) {
+			return "", nil, fmt.Errorf("bad variable %q in atom %s", v, name)
+		}
+		vars = append(vars, v)
+	}
+	return name, vars, nil
+}
+
+func ident(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+		case i > 0 && unicode.IsDigit(r):
+		default:
+			return false
+		}
+	}
+	return true
+}

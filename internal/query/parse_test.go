@@ -1,0 +1,72 @@
+package query
+
+import "testing"
+
+func TestParseFull(t *testing.T) {
+	q, err := Parse("Q(*) :- R1(x1,x2), R2(x2,x3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsFull() || len(q.Atoms) != 2 || q.Atoms[1].Rel != "R2" {
+		t.Fatalf("parsed: %s", q)
+	}
+	if q.Atoms[0].Vars[1] != "x2" {
+		t.Fatalf("vars: %v", q.Atoms[0].Vars)
+	}
+}
+
+func TestParseProjection(t *testing.T) {
+	q, err := Parse("Starts(x1) :- R1(x1, x2), R2(x2, x3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsFull() || len(q.FreeVars()) != 1 || q.FreeVars()[0] != "x1" {
+		t.Fatalf("free vars: %v", q.FreeVars())
+	}
+	if q.Name != "Starts" {
+		t.Fatalf("name: %s", q.Name)
+	}
+}
+
+func TestParseExplicitFullHead(t *testing.T) {
+	q, err := Parse("Q(x,y) :- R(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsFull() || q.Free != nil {
+		t.Fatalf("expected full query: %+v", q)
+	}
+}
+
+func TestParseRoundTripsBuilders(t *testing.T) {
+	for _, orig := range []*CQ{PathQuery(4), StarQuery(3), CycleQuery(6), CartesianQuery(2)} {
+		q, err := Parse(orig.String())
+		if err != nil {
+			t.Fatalf("%s: %v", orig, err)
+		}
+		if q.String() != orig.String() {
+			t.Fatalf("round trip: %s != %s", q, orig)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Q(x)",                // no :-
+		"Q(x) :- ",            // no atoms
+		"Q(x) :- R(x,",        // unterminated
+		"Q(x) :- R(x), S(y),", // trailing comma
+		"Q(x) :- R(x) S(y)",   // missing comma
+		"Q(z) :- R(x)",        // head var not in body
+		"1Q(x) :- R(x)",       // bad name
+		"Q(x!) :- R(x!)",      // bad variable
+		"Q() :- R(x)",         // empty head
+		"Q(x) :- (x)",         // empty relation name
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded", s)
+		}
+	}
+}

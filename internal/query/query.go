@@ -1,0 +1,369 @@
+// Package query models conjunctive queries (CQs), their hypergraphs, and the
+// structural machinery of the paper: the GYO reduction for acyclicity testing
+// and join-tree construction (Section 2.1), join-tree re-rooting, and the
+// free-connex analysis used for projections (Section 8.1).
+package query
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Atom is one query atom R(x1,...,xk): a relation name plus a variable list.
+// Repeated relation names across atoms express self-joins; repeating a
+// variable inside one atom is not supported (the paper factors such selections
+// into a preprocessing step).
+type Atom struct {
+	Rel  string
+	Vars []string
+}
+
+// CQ is a conjunctive query Q(Free) :- Atoms. A nil/empty Free means the query
+// is full (all variables are returned).
+type CQ struct {
+	Name  string
+	Atoms []Atom
+	Free  []string
+}
+
+// NewCQ builds a query; pass nil free for a full CQ.
+func NewCQ(name string, free []string, atoms ...Atom) *CQ {
+	return &CQ{Name: name, Atoms: atoms, Free: free}
+}
+
+// Vars returns all distinct variables in first-occurrence order.
+func (q *CQ) Vars() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range q.Atoms {
+		for _, v := range a.Vars {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// IsFull reports whether the query returns all variables.
+func (q *CQ) IsFull() bool {
+	if len(q.Free) == 0 {
+		return true
+	}
+	all := q.Vars()
+	if len(q.Free) != len(all) {
+		return false
+	}
+	set := map[string]bool{}
+	for _, v := range q.Free {
+		set[v] = true
+	}
+	for _, v := range all {
+		if !set[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// FreeVars returns the output variables (all variables for a full query).
+func (q *CQ) FreeVars() []string {
+	if len(q.Free) == 0 {
+		return q.Vars()
+	}
+	return q.Free
+}
+
+func (q *CQ) String() string {
+	s := q.Name + "("
+	for i, v := range q.FreeVars() {
+		if i > 0 {
+			s += ","
+		}
+		s += v
+	}
+	s += ") :- "
+	for i, a := range q.Atoms {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.Rel + "("
+		for j, v := range a.Vars {
+			if j > 0 {
+				s += ","
+			}
+			s += v
+		}
+		s += ")"
+	}
+	return s
+}
+
+// Intersect returns the shared variables of a and b in a's order.
+func Intersect(a, b []string) []string {
+	set := map[string]bool{}
+	for _, v := range b {
+		set[v] = true
+	}
+	var out []string
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// subset reports a ⊆ b.
+func subset(a, b map[string]bool) bool {
+	for v := range a {
+		if !b[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// GYO runs the Graham/Yu–Ozsoyoglu reduction on a hypergraph given as one
+// variable set per edge. It returns per-edge parent pointers forming a join
+// tree (parent[root] = -1) and whether the hypergraph is alpha-acyclic.
+// Disconnected hypergraphs (Cartesian products) are acyclic; their components
+// are chained by the empty-set containment steps of the reduction.
+func GYO(edges [][]string) (parent []int, acyclic bool) {
+	n := len(edges)
+	parent = make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	if n == 0 {
+		return parent, true
+	}
+	eff := make([]map[string]bool, n)
+	for i, e := range edges {
+		eff[i] = map[string]bool{}
+		for _, v := range e {
+			eff[i][v] = true
+		}
+	}
+	removed := make([]bool, n)
+	remaining := n
+	for remaining > 1 {
+		changed := false
+		// Remove isolated variables (appearing in exactly one remaining edge).
+		count := map[string]int{}
+		for i := range eff {
+			if removed[i] {
+				continue
+			}
+			for v := range eff[i] {
+				count[v]++
+			}
+		}
+		for i := range eff {
+			if removed[i] {
+				continue
+			}
+			for v := range eff[i] {
+				if count[v] == 1 {
+					delete(eff[i], v)
+					changed = true
+				}
+			}
+		}
+		// Remove ears: an edge whose remaining variables are contained in
+		// another remaining edge becomes that edge's child.
+		for i := 0; i < n && remaining > 1; i++ {
+			if removed[i] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if i == j || removed[j] {
+					continue
+				}
+				if subset(eff[i], eff[j]) {
+					removed[i] = true
+					parent[i] = j
+					remaining--
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			return parent, false
+		}
+	}
+	return parent, true
+}
+
+// IsAcyclic reports alpha-acyclicity of the query's hypergraph.
+func IsAcyclic(q *CQ) bool {
+	edges := make([][]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		edges[i] = a.Vars
+	}
+	_, ok := GYO(edges)
+	return ok
+}
+
+// IsFreeConnex reports whether q is acyclic and free-connex: the hypergraph
+// extended with a head hyperedge over the free variables is also acyclic
+// (Section 8.1). Full acyclic queries are trivially free-connex.
+func IsFreeConnex(q *CQ) bool {
+	if !IsAcyclic(q) {
+		return false
+	}
+	if q.IsFull() {
+		return true
+	}
+	edges := make([][]string, 0, len(q.Atoms)+1)
+	for _, a := range q.Atoms {
+		edges = append(edges, a.Vars)
+	}
+	edges = append(edges, q.FreeVars())
+	_, ok := GYO(edges)
+	return ok
+}
+
+// JoinTree is a rooted join tree over the atoms of a full acyclic CQ.
+type JoinTree struct {
+	Q      *CQ
+	Parent []int // per atom; -1 at root
+	Root   int
+	Order  []int // preorder serialization: parents before children
+}
+
+// BuildJoinTree runs GYO and roots the resulting tree. It fails on cyclic
+// queries.
+func BuildJoinTree(q *CQ) (*JoinTree, error) {
+	edges := make([][]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		edges[i] = a.Vars
+	}
+	parent, ok := GYO(edges)
+	if !ok {
+		return nil, fmt.Errorf("query %s is cyclic: no join tree exists", q.Name)
+	}
+	t := &JoinTree{Q: q, Parent: parent, Root: rootOf(parent)}
+	t.Order = preorder(parent, t.Root)
+	return t, nil
+}
+
+func rootOf(parent []int) int {
+	for i, p := range parent {
+		if p == -1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// preorder returns a serialization where every parent precedes its children,
+// with children visited in index order for determinism.
+func preorder(parent []int, root int) []int {
+	n := len(parent)
+	children := make([][]int, n)
+	for i, p := range parent {
+		if p >= 0 {
+			children[p] = append(children[p], i)
+		}
+	}
+	order := make([]int, 0, n)
+	var visit func(int)
+	visit = func(u int) {
+		order = append(order, u)
+		cs := children[u]
+		sort.Ints(cs)
+		for _, c := range cs {
+			visit(c)
+		}
+	}
+	if root >= 0 {
+		visit(root)
+	}
+	return order
+}
+
+// Children returns the child atom indices of node u.
+func (t *JoinTree) Children(u int) []int {
+	var out []int
+	for i, p := range t.Parent {
+		if p == u {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// JoinVars returns the equi-join variables between atom c and its parent.
+func (t *JoinTree) JoinVars(c int) []string {
+	p := t.Parent[c]
+	if p < 0 {
+		return nil
+	}
+	return Intersect(t.Q.Atoms[c].Vars, t.Q.Atoms[p].Vars)
+}
+
+// Reroot returns a copy of t rooted at newRoot. Join trees are unrooted
+// structures, so flipping parent pointers along the root path preserves the
+// running-intersection property.
+func (t *JoinTree) Reroot(newRoot int) *JoinTree {
+	parent := append([]int(nil), t.Parent...)
+	// Flip pointers on the path newRoot -> old root.
+	prev := -1
+	u := newRoot
+	for u != -1 {
+		next := parent[u]
+		parent[u] = prev
+		prev = u
+		u = next
+	}
+	nt := &JoinTree{Q: t.Q, Parent: parent, Root: newRoot}
+	nt.Order = preorder(parent, newRoot)
+	return nt
+}
+
+// VerifyJoinTree checks the running-intersection (coherence) property: for
+// every variable, the atoms containing it induce a connected subtree. Used by
+// tests and by the free-connex planner's safety check.
+func VerifyJoinTree(q *CQ, parent []int) bool {
+	n := len(q.Atoms)
+	if n == 0 {
+		return true
+	}
+	root := rootOf(parent)
+	if root < 0 {
+		return false
+	}
+	for _, v := range q.Vars() {
+		// Collect atoms containing v; check they form a connected subtree:
+		// all but one must have a parent (within the set) reachable by
+		// walking up through atoms that also contain v... equivalently the
+		// topmost atom containing v is unique.
+		tops := 0
+		for i, a := range q.Atoms {
+			if !hasVar(a, v) {
+				continue
+			}
+			p := parent[i]
+			if p == -1 || !hasVar(q.Atoms[p], v) {
+				tops++
+			}
+		}
+		if tops > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func hasVar(a Atom, v string) bool {
+	for _, x := range a.Vars {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

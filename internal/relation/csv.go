@@ -1,0 +1,61 @@
+package relation
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a weighted relation from comma- (or whitespace-) separated
+// text: one row per line, all columns integer values except the last, which
+// is the float64 tuple weight. Lines starting with '#' and blank lines are
+// skipped. The schema must match the number of value columns.
+func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
+	rel := New(name, attrs...)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' })
+		if len(fields) != len(attrs)+1 {
+			return nil, fmt.Errorf("%s line %d: %d fields, want %d values + weight", name, lineNo, len(fields), len(attrs))
+		}
+		vals := make([]Value, len(attrs))
+		for i := range attrs {
+			v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
+			}
+			vals[i] = v
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(fields[len(attrs)]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
+		}
+		rel.Add(w, vals...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation in the format LoadCSV reads.
+func WriteCSV(w io.Writer, r *Relation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s(%s), last column = weight\n", r.Name, strings.Join(r.Attrs, ","))
+	for i, row := range r.Rows {
+		for _, v := range row {
+			fmt.Fprintf(bw, "%d,", v)
+		}
+		fmt.Fprintf(bw, "%g\n", r.Weights[i])
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package relation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	in := `# edges
+1,2,0.5
+3,4,1.25
+
+7 8 2
+`
+	r, err := LoadCSV(strings.NewReader(in), "E", "from", "to")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 3 || r.Rows[2][0] != 7 || r.Weights[1] != 1.25 {
+		t.Fatalf("parsed: %+v", r)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2",       // missing weight
+		"1,2,3,4",   // too many fields
+		"x,2,0.5",   // bad value
+		"1,2,heavy", // bad weight
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c), "E", "a", "b"); err == nil {
+			t.Errorf("LoadCSV(%q) succeeded", c)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := New("R", "a", "b")
+	r.Add(0.5, 1, 2)
+	r.Add(3, -4, 5)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(&buf, "R", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 2 || got.Rows[1][0] != -4 || got.Weights[0] != 0.5 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}

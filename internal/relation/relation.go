@@ -1,0 +1,148 @@
+// Package relation provides the relational substrate: weighted tuples over an
+// integer domain, named relations, databases, and the hash-grouping helpers
+// (built in linear time, constant-time lookup, Section 2.3) that the DP-graph
+// construction relies on.
+package relation
+
+import "fmt"
+
+// Value is a domain value. Queries use equality only, so an integer-encoded
+// domain loses no generality (string dictionaries map onto it).
+type Value = int64
+
+// Relation is a named, weighted relation. Row i has values Rows[i] (arity =
+// len(Attrs)) and input weight Weights[i]. Relations are bags: duplicate rows
+// are allowed.
+type Relation struct {
+	Name    string
+	Attrs   []string
+	Rows    [][]Value
+	Weights []float64
+}
+
+// New returns an empty relation with the given schema.
+func New(name string, attrs ...string) *Relation {
+	return &Relation{Name: name, Attrs: attrs}
+}
+
+// Add appends a row with a weight and returns its index. It panics on arity
+// mismatch: schema errors are programming errors, not data errors.
+func (r *Relation) Add(w float64, vals ...Value) int {
+	if len(vals) != len(r.Attrs) {
+		panic(fmt.Sprintf("relation %s: row arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs)))
+	}
+	r.Rows = append(r.Rows, vals)
+	r.Weights = append(r.Weights, w)
+	return len(r.Rows) - 1
+}
+
+// Size returns the number of rows.
+func (r *Relation) Size() int { return len(r.Rows) }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of attr in the schema, or -1.
+func (r *Relation) AttrIndex(attr string) int {
+	for i, a := range r.Attrs {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Project returns the values of row at the given column positions.
+func (r *Relation) Project(row int, cols []int) []Value {
+	out := make([]Value, len(cols))
+	for i, c := range cols {
+		out[i] = r.Rows[row][c]
+	}
+	return out
+}
+
+// DB is a database: a set of named relations. Self-joins reference the same
+// *Relation from multiple query atoms.
+type DB struct {
+	rels  map[string]*Relation
+	order []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
+
+// AddRelation registers r, replacing any previous relation of the same name.
+func (db *DB) AddRelation(r *Relation) {
+	if _, ok := db.rels[r.Name]; !ok {
+		db.order = append(db.order, r.Name)
+	}
+	db.rels[r.Name] = r
+}
+
+// Alias registers r under an additional name (self-joins over one physical
+// relation, as in the paper's experiments where every query atom reads the
+// same EDGES table).
+func (db *DB) Alias(name string, r *Relation) {
+	if _, ok := db.rels[name]; !ok {
+		db.order = append(db.order, name)
+	}
+	db.rels[name] = r
+}
+
+// Relation returns the named relation or nil.
+func (db *DB) Relation(name string) *Relation { return db.rels[name] }
+
+// Names returns relation names in insertion order.
+func (db *DB) Names() []string { return append([]string(nil), db.order...) }
+
+// MaxSize returns n, the maximum cardinality over all relations.
+func (db *DB) MaxSize() int {
+	n := 0
+	for _, name := range db.order {
+		if s := db.rels[name].Size(); s > n {
+			n = s
+		}
+	}
+	return n
+}
+
+// Key encodes a value vector as a comparable map key. Single-column keys (the
+// common case for the graph queries in the paper) avoid the string encoding.
+type Key struct {
+	single Value
+	multi  string
+	n      int
+}
+
+// MakeKey builds a Key from vals.
+func MakeKey(vals []Value) Key {
+	if len(vals) == 1 {
+		return Key{single: vals[0], n: 1}
+	}
+	b := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		u := uint64(v)
+		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+	}
+	return Key{multi: string(b), n: len(vals)}
+}
+
+// GroupBy partitions row indices of r by the projection onto cols, preserving
+// first-seen group order. Linear time, the "data structure built in linear
+// time supporting constant-time lookups" of Section 2.3.
+func GroupBy(r *Relation, cols []int) (keys []Key, groups [][]int, index map[Key]int) {
+	index = make(map[Key]int, r.Size())
+	for i := range r.Rows {
+		k := MakeKey(r.Project(i, cols))
+		g, ok := index[k]
+		if !ok {
+			g = len(groups)
+			index[k] = g
+			keys = append(keys, k)
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return keys, groups, index
+}

@@ -1,0 +1,136 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := New("R", "A", "B")
+	if r.Arity() != 2 || r.Size() != 0 {
+		t.Fatal("bad empty relation")
+	}
+	i := r.Add(1.5, 10, 20)
+	j := r.Add(2.5, 10, 30)
+	if i != 0 || j != 1 || r.Size() != 2 {
+		t.Fatal("Add indices wrong")
+	}
+	if r.AttrIndex("B") != 1 || r.AttrIndex("Z") != -1 {
+		t.Fatal("AttrIndex wrong")
+	}
+	got := r.Project(1, []int{1, 0})
+	if got[0] != 30 || got[1] != 10 {
+		t.Fatalf("Project = %v", got)
+	}
+}
+
+func TestAddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	New("R", "A").Add(0, 1, 2)
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	r1 := New("R1", "A", "B")
+	r1.Add(0, 1, 2)
+	r1.Add(0, 3, 4)
+	r2 := New("R2", "B", "C")
+	r2.Add(0, 2, 5)
+	db.AddRelation(r1)
+	db.AddRelation(r2)
+	if db.Relation("R1") != r1 || db.Relation("nope") != nil {
+		t.Fatal("Relation lookup broken")
+	}
+	if n := db.MaxSize(); n != 2 {
+		t.Fatalf("MaxSize = %d", n)
+	}
+	names := db.Names()
+	if len(names) != 2 || names[0] != "R1" || names[1] != "R2" {
+		t.Fatalf("Names = %v", names)
+	}
+	// replacing keeps order stable
+	r1b := New("R1", "A", "B")
+	db.AddRelation(r1b)
+	if db.Relation("R1") != r1b || len(db.Names()) != 2 {
+		t.Fatal("replacement broken")
+	}
+}
+
+func TestMakeKeyInjective(t *testing.T) {
+	err := quick.Check(func(a, b []int64) bool {
+		if len(a) > 4 {
+			a = a[:4]
+		}
+		if len(b) > 4 {
+			b = b[:4]
+		}
+		ka, kb := MakeKey(a), MakeKey(b)
+		same := len(a) == len(b)
+		if same {
+			for i := range a {
+				if a[i] != b[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return (ka == kb) == same
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	r := New("R", "A", "B")
+	r.Add(0, 1, 10)
+	r.Add(0, 2, 20)
+	r.Add(0, 1, 30)
+	r.Add(0, 2, 40)
+	r.Add(0, 3, 50)
+	keys, groups, index := GroupBy(r, []int{0})
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups", len(groups))
+	}
+	// first-seen order: 1, 2, 3
+	if g := groups[index[MakeKey([]Value{1})]]; len(g) != 2 || g[0] != 0 || g[1] != 2 {
+		t.Fatalf("group for key 1 = %v", g)
+	}
+	if g := groups[index[MakeKey([]Value{3})]]; len(g) != 1 || g[0] != 4 {
+		t.Fatalf("group for key 3 = %v", g)
+	}
+	if len(keys) != len(groups) {
+		t.Fatal("keys/groups length mismatch")
+	}
+}
+
+func TestGroupByMultiColRandom(t *testing.T) {
+	r := New("R", "A", "B", "C")
+	rnd := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		r.Add(0, int64(rnd.Intn(4)), int64(rnd.Intn(4)), int64(rnd.Intn(50)))
+	}
+	_, groups, index := GroupBy(r, []int{0, 1})
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+		// every member must project to the group key
+		k := MakeKey(r.Project(g[0], []int{0, 1}))
+		for _, row := range g {
+			if MakeKey(r.Project(row, []int{0, 1})) != k {
+				t.Fatal("row in wrong group")
+			}
+		}
+		if index[k] < 0 || index[k] >= len(groups) {
+			t.Fatal("index out of range")
+		}
+	}
+	if total != 500 {
+		t.Fatalf("partition lost rows: %d", total)
+	}
+}
