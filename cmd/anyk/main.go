@@ -9,6 +9,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,18 +29,19 @@ import (
 var (
 	queryFlag   = flag.String("query", "path4", "query: path<l>, star<l>, cycle<l>, cartesian<l>")
 	datalogFlag = flag.String("datalog", "", "Datalog query overriding -query, e.g. 'Q(*) :- R1(x,y), R2(y,z)'; atoms must reference R1..Rn of the generated dataset")
-	dataFlag    = flag.String("data", "uniform", "dataset: uniform, worstcase, bitcoin, twitter")
+	dataFlag    = flag.String("data", "uniform", "dataset: uniform, worstcase, bitcoin, twitter, i1, i2")
 	nFlag       = flag.Int("n", 10000, "tuples per relation (uniform/worstcase) or nodes (graphs)")
 	kFlag       = flag.Int("k", 10, "number of ranked results to print (0 = all)")
 	algFlag     = flag.String("alg", "Take2", "algorithm: Take2, Lazy, Eager, All, Recursive, Batch")
 	orderFlag   = flag.String("order", "min", "ranking order: min (ascending sum) or max (descending sum)")
 	seedFlag    = flag.Int64("seed", 1, "random seed")
 	quietFlag   = flag.Bool("quiet", false, "suppress per-result output (timing only)")
+	jsonFlag    = flag.Bool("json", false, "emit one JSON object per row on stdout (summary goes to stderr)")
 )
 
 func main() {
 	flag.Parse()
-	q, l, err := parseQuery(*queryFlag)
+	q, err := query.ParseFamily(*queryFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -47,24 +50,33 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		l = len(q.Atoms)
 	}
+	l := len(q.Atoms)
 	alg, err := core.ParseAlgorithm(*algFlag)
 	if err != nil {
 		fatal(err)
 	}
-	db, err := buildData(*dataFlag, l, *nFlag, *seedFlag)
+	db, err := dataset.Build(*dataFlag, l, *nFlag, 0, *seedFlag)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
+	summary := os.Stdout
+	if *jsonFlag {
+		summary = os.Stderr // keep stdout pure NDJSON for script pipelines
+	}
+	fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
 	start := time.Now()
 	rows, vars, err := run(db, q, alg, *orderFlag, *kFlag)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
-	if !*quietFlag {
+	switch {
+	case *jsonFlag:
+		if err := writeJSON(rows, vars); err != nil {
+			fatal(err)
+		}
+	case !*quietFlag:
 		fmt.Printf("%-6s %-12s %s\n", "rank", "weight", strings.Join(vars, " "))
 		for i, r := range rows {
 			vals := make([]string, len(r.Vals))
@@ -74,7 +86,30 @@ func main() {
 			fmt.Printf("%-6d %-12.2f %s\n", i+1, r.Weight, strings.Join(vals, " "))
 		}
 	}
-	fmt.Printf("%d results in %v (TTF included)\n", len(rows), elapsed)
+	fmt.Fprintf(summary, "%d results in %v (TTF included)\n", len(rows), elapsed)
+}
+
+// jsonRow is the NDJSON row shape of -json: one object per line, values keyed
+// by output variable so downstream scripts need no schema knowledge.
+type jsonRow struct {
+	Rank   int              `json:"rank"`
+	Weight float64          `json:"weight"`
+	Vals   map[string]int64 `json:"vals"`
+}
+
+func writeJSON(rows []core.Row[float64], vars []string) error {
+	bw := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(bw)
+	for i, r := range rows {
+		vals := make(map[string]int64, len(vars))
+		for j, v := range vars {
+			vals[v] = r.Vals[j]
+		}
+		if err := enc.Encode(jsonRow{Rank: i + 1, Weight: r.Weight, Vals: vals}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], []string, error) {
@@ -92,42 +127,6 @@ func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) 
 		return nil, nil, err
 	}
 	return it.Drain(k), it.Vars, nil
-}
-
-func parseQuery(s string) (*query.CQ, int, error) {
-	for _, p := range []struct {
-		prefix string
-		build  func(int) *query.CQ
-	}{
-		{"path", query.PathQuery},
-		{"star", query.StarQuery},
-		{"cycle", query.CycleQuery},
-		{"cartesian", query.CartesianQuery},
-	} {
-		if strings.HasPrefix(s, p.prefix) {
-			l, err := strconv.Atoi(strings.TrimPrefix(s, p.prefix))
-			if err != nil || l < 1 {
-				return nil, 0, fmt.Errorf("bad query size in %q", s)
-			}
-			return p.build(l), l, nil
-		}
-	}
-	return nil, 0, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>)", s)
-}
-
-func buildData(kind string, l, n int, seed int64) (*relation.DB, error) {
-	switch kind {
-	case "uniform":
-		return dataset.Uniform(l, n, seed), nil
-	case "worstcase":
-		return dataset.WorstCaseCycle(l, n, seed), nil
-	case "bitcoin":
-		scale := float64(n) / 5881
-		return dataset.EdgesToDB(dataset.BitcoinLike(scale, seed), l), nil
-	case "twitter":
-		return dataset.EdgesToDB(dataset.TwitterLike(n, 10, seed), l), nil
-	}
-	return nil, fmt.Errorf("unknown dataset %q", kind)
 }
 
 func fatal(err error) {

@@ -1,0 +1,104 @@
+// Command anykd serves ranked any-k enumeration over HTTP with resumable
+// enumeration sessions (see internal/server for the API).
+//
+//	anykd -addr :8080 -session-ttl 10m -max-sessions 1024
+//
+// A minimal round trip with curl:
+//
+//	curl -X POST localhost:8080/v1/datasets -d '{"name":"d","kind":"uniform","relations":4,"n":1000}'
+//	curl -X POST localhost:8080/v1/queries -d '{"dataset":"d","query":"path4"}'
+//	curl 'localhost:8080/v1/queries/<id>/next?k=5'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"anyk/internal/server"
+)
+
+var (
+	addrFlag     = flag.String("addr", ":8080", "listen address")
+	ttlFlag      = flag.Duration("session-ttl", 10*time.Minute, "idle session expiry (0 = never)")
+	maxSessFlag  = flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond this)")
+	verboseFlag  = flag.Bool("v", false, "debug-level logging")
+	shutdownFlag = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fatal(fmt.Errorf("unexpected arguments: %v", flag.Args()))
+	}
+
+	level := slog.LevelInfo
+	if *verboseFlag {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sessions := server.NewManager(ctx, *maxSessFlag, *ttlFlag)
+	defer sessions.Close()
+	srv := server.New(sessions, logger)
+
+	httpSrv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Janitor: expire idle sessions even when nobody touches them.
+	if *ttlFlag > 0 {
+		interval := *ttlFlag / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := sessions.Sweep(); n > 0 {
+						logger.Debug("swept sessions", "evicted", n)
+					}
+				}
+			}
+		}()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("anykd listening", "addr", *addrFlag, "session_ttl", *ttlFlag, "max_sessions", *maxSessFlag)
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Info("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownFlag)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "anykd:", err)
+	os.Exit(1)
+}

@@ -13,10 +13,14 @@
 //   - internal/decomp — heavy/light simple-cycle decomposition
 //   - internal/join — NPRR generic join, Yannakakis, hash-join and rank-join
 //     baselines
+//   - internal/server — the HTTP query service: resumable ranked-enumeration
+//     sessions (TTL + LRU), dataset management, CSV ingest; served by
+//     cmd/anykd
 //   - internal/query, internal/relation, internal/dioid, internal/heapq,
 //     internal/dataset, internal/homom, internal/bench — substrates
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduced evaluation. bench_test.go in this directory regenerates every
-// figure/table as a Go benchmark; cmd/experiments prints the full series.
+// figure/table as a Go benchmark; cmd/experiments prints the full series;
+// examples/httpservice walks through the HTTP API.
 package anyk

@@ -1,0 +1,3 @@
+module anyk
+
+go 1.24

@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"anyk/internal/dioid"
 	"anyk/internal/dpgraph"
@@ -79,10 +80,10 @@ func (a Algorithm) String() string {
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
 
-// ParseAlgorithm resolves a case-sensitive algorithm name.
+// ParseAlgorithm resolves an algorithm name, case-insensitively.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	for a := Take2; a <= BatchNoSort; a++ {
-		if a.String() == s {
+		if strings.EqualFold(a.String(), s) {
 			return a, nil
 		}
 	}

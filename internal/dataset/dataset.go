@@ -9,9 +9,37 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"anyk/internal/relation"
 )
+
+// Build constructs a workload by kind name — the single table behind both the
+// CLI's -data flag and the HTTP service's dataset kinds. l is the number of
+// relations, n the tuples per relation (or nodes for graph kinds), dom an
+// optional domain-size override for uniform (0 = default n/10).
+func Build(kind string, l, n, dom int, seed int64) (*relation.DB, error) {
+	switch strings.ToLower(kind) {
+	case "empty":
+		return relation.NewDB(), nil
+	case "", "uniform":
+		if dom > 0 {
+			return UniformDom(l, n, dom, seed), nil
+		}
+		return Uniform(l, n, seed), nil
+	case "worstcase":
+		return WorstCaseCycle(l, n, seed), nil
+	case "bitcoin":
+		return EdgesToDB(BitcoinLike(float64(n)/5881, seed), l), nil
+	case "twitter":
+		return EdgesToDB(TwitterLike(n, 10, seed), l), nil
+	case "i1":
+		return I1(n, seed), nil
+	case "i2":
+		return I2(n), nil
+	}
+	return nil, fmt.Errorf("unknown dataset kind %q (want empty, uniform, worstcase, bitcoin, twitter, i1, i2)", kind)
+}
 
 // Uniform builds ℓ binary relations R1..Rℓ with n tuples each whose values
 // are sampled uniformly from N_{n/10} (so tuples join with ~10 partners on

@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// drainDB is a tiny path-2 instance with exactly 3 results (weights 3, 5, 6).
+func drainDB() (*relation.DB, *query.CQ) {
+	db := relation.NewDB()
+	r1 := relation.New("R1", "A", "B")
+	r1.Add(1, 1, 10)
+	r1.Add(5, 2, 20)
+	r2 := relation.New("R2", "B", "C")
+	r2.Add(2, 10, 100)
+	r2.Add(4, 10, 101)
+	r2.Add(1, 20, 200)
+	db.AddRelation(r1)
+	db.AddRelation(r2)
+	return db, query.PathQuery(2)
+}
+
+func TestDrainNonPositiveKDrainsAll(t *testing.T) {
+	db, q := drainDB()
+	for _, k := range []int{0, -1, -100} {
+		it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := it.Drain(k)
+		if len(rows) != 3 {
+			t.Fatalf("Drain(%d) = %d rows, want 3", k, len(rows))
+		}
+		for i, w := range []float64{3, 5, 6} {
+			if rows[i].Weight != w {
+				t.Fatalf("Drain(%d) rank %d weight %v, want %v", k, i+1, rows[i].Weight, w)
+			}
+		}
+		if _, ok := it.Next(); ok {
+			t.Fatalf("Drain(%d): iterator should be exhausted", k)
+		}
+	}
+}
+
+func TestDrainKBeyondResultCountStopsCleanly(t *testing.T) {
+	db, q := drainDB()
+	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := it.Drain(1000)
+	if len(rows) != 3 {
+		t.Fatalf("Drain(1000) = %d rows, want 3", len(rows))
+	}
+	// Draining again after exhaustion is a clean no-op, not a hang or panic.
+	if extra := it.Drain(10); len(extra) != 0 {
+		t.Fatalf("second Drain returned %d rows, want 0", len(extra))
+	}
+}
+
+func TestDrainPagesPreserveRankOrder(t *testing.T) {
+	db, q := drainDB()
+	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := it.Drain(2)
+	rest := it.Drain(2)
+	if len(first) != 2 || len(rest) != 1 {
+		t.Fatalf("pages %d,%d rows, want 2,1", len(first), len(rest))
+	}
+	if first[0].Weight != 3 || first[1].Weight != 5 || rest[0].Weight != 6 {
+		t.Fatalf("paged weights %v,%v | %v, want 3,5 | 6", first[0].Weight, first[1].Weight, rest[0].Weight)
+	}
+}
+
+// dedupDB duplicates every R1 tuple, so each of the 3 base results appears
+// twice with identical values and weights — adjacent in rank order, which is
+// exactly what the consecutive-duplicate filter removes.
+func dedupDB() (*relation.DB, *query.CQ) {
+	db, q := drainDB()
+	r1 := db.Relation("R1")
+	for _, i := range []int{0, 1} {
+		r1.Add(r1.Weights[i], r1.Rows[i]...)
+	}
+	return db, q
+}
+
+func TestOptionsDedup(t *testing.T) {
+	db, q := dedupDB()
+
+	plain, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows := plain.Drain(0); len(rows) != 6 {
+		t.Fatalf("without Dedup: %d rows, want 6 (duplicated witnesses)", len(rows))
+	}
+
+	deduped, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2, Options{Dedup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := deduped.Drain(0)
+	if len(rows) != 3 {
+		t.Fatalf("with Dedup: %d rows, want 3", len(rows))
+	}
+	for i, w := range []float64{3, 5, 6} {
+		if rows[i].Weight != w {
+			t.Fatalf("dedup rank %d weight %v, want %v", i+1, rows[i].Weight, w)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+)
+
+func (s Semantics) String() string {
+	switch s {
+	case AllWeights:
+		return "all"
+	case MinWeight:
+		return "min"
+	}
+	return fmt.Sprintf("Semantics(%d)", int(s))
+}
+
+// ParseSemantics resolves a projection-semantics name ("all" or "min",
+// case-insensitively; the empty string defaults to AllWeights). It is the
+// name→value hook used by callers that configure Enumerate from text, such
+// as the HTTP service.
+func ParseSemantics(s string) (Semantics, error) {
+	switch strings.ToLower(s) {
+	case "", "all", "allweights":
+		return AllWeights, nil
+	case "min", "minweight":
+		return MinWeight, nil
+	}
+	return 0, fmt.Errorf("unknown semantics %q (want %q or %q)", s, AllWeights, MinWeight)
+}

@@ -1,6 +1,10 @@
 package query
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // PathQuery returns the ℓ-path query of Example 2:
 // QPℓ(x) :- R1(x1,x2), R2(x2,x3), ..., Rℓ(xℓ,xℓ+1).
@@ -57,3 +61,27 @@ func CartesianQuery(l int) *CQ {
 }
 
 func xvar(i int) string { return fmt.Sprintf("x%d", i) }
+
+// ParseFamily resolves the built-in query families by name: path<l>,
+// star<l>, cycle<l>, cartesian<l>. Both the CLI and the HTTP service resolve
+// family names through this single table.
+func ParseFamily(s string) (*CQ, error) {
+	for _, p := range []struct {
+		prefix string
+		build  func(int) *CQ
+	}{
+		{"path", PathQuery},
+		{"star", StarQuery},
+		{"cycle", CycleQuery},
+		{"cartesian", CartesianQuery},
+	} {
+		if strings.HasPrefix(s, p.prefix) {
+			l, err := strconv.Atoi(strings.TrimPrefix(s, p.prefix))
+			if err != nil || l < 1 {
+				return nil, fmt.Errorf("bad query size in %q", s)
+			}
+			return p.build(l), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>)", s)
+}

@@ -2,11 +2,22 @@ package relation
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 )
+
+// csvFields splits a data line on the accepted separators (comma or
+// whitespace) — the single definition the loaders and the arity sniffer
+// share.
+func csvFields(line string) []string {
+	return strings.FieldsFunc(line, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' })
+}
+
+// csvSkip reports whether a (trimmed) line carries no data.
+func csvSkip(line string) bool { return line == "" || strings.HasPrefix(line, "#") }
 
 // LoadCSV reads a weighted relation from comma- (or whitespace-) separated
 // text: one row per line, all columns integer values except the last, which
@@ -20,10 +31,10 @@ func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		if csvSkip(line) {
 			continue
 		}
-		fields := strings.FieldsFunc(line, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' })
+		fields := csvFields(line)
 		if len(fields) != len(attrs)+1 {
 			return nil, fmt.Errorf("%s line %d: %d fields, want %d values + weight", name, lineNo, len(fields), len(attrs))
 		}
@@ -45,6 +56,37 @@ func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 		return nil, err
 	}
 	return rel, nil
+}
+
+// LoadCSVAuto is LoadCSV with the schema inferred from the data: the arity is
+// taken from the first data row (fields minus the trailing weight) and the
+// attributes are named A1..Ak. It serves callers that receive rows without a
+// declared schema, such as the HTTP upload endpoint.
+func LoadCSVAuto(r io.Reader, name string) (*Relation, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var peeked []byte
+	for {
+		line, err := br.ReadBytes('\n')
+		peeked = append(peeked, line...)
+		trimmed := strings.TrimSpace(string(line))
+		if !csvSkip(trimmed) {
+			n := len(csvFields(trimmed))
+			if n < 2 {
+				return nil, fmt.Errorf("%s: first data row has %d fields, want at least 1 value + weight", name, n)
+			}
+			attrs := make([]string, n-1)
+			for i := range attrs {
+				attrs[i] = fmt.Sprintf("A%d", i+1)
+			}
+			return LoadCSV(io.MultiReader(bytes.NewReader(peeked), br), name, attrs...)
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("%s: no data rows", name)
+			}
+			return nil, err
+		}
+	}
 }
 
 // WriteCSV writes the relation in the format LoadCSV reads.

@@ -36,6 +36,39 @@ func TestLoadCSVErrors(t *testing.T) {
 	}
 }
 
+func TestLoadCSVAuto(t *testing.T) {
+	in := `# comment before any data
+# another comment
+
+1,2,9,0.5
+3,4,5,1.25
+`
+	r, err := LoadCSVAuto(strings.NewReader(in), "E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attrs) != 3 || r.Attrs[0] != "A1" || r.Attrs[2] != "A3" {
+		t.Fatalf("inferred attrs %v", r.Attrs)
+	}
+	if r.Size() != 2 || r.Rows[1][2] != 5 || r.Weights[0] != 0.5 {
+		t.Fatalf("parsed: %+v", r)
+	}
+}
+
+func TestLoadCSVAutoErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty input
+		"# only\n# comments\n", // no data rows
+		"7\n",                  // weight only, no value columns
+		"1,2,0.5\n3,4\n",       // later row narrower than inferred schema
+	}
+	for _, c := range cases {
+		if _, err := LoadCSVAuto(strings.NewReader(c), "E"); err == nil {
+			t.Errorf("LoadCSVAuto(%q) succeeded", c)
+		}
+	}
+}
+
 func TestCSVRoundTrip(t *testing.T) {
 	r := New("R", "a", "b")
 	r.Add(0.5, 1, 2)

@@ -89,6 +89,18 @@ func (db *DB) Alias(name string, r *Relation) {
 	db.rels[name] = r
 }
 
+// Clone returns a shallow copy of the database: a fresh name table sharing
+// the underlying relations. Changing the clone's membership (AddRelation,
+// Alias) leaves the original untouched, enabling copy-on-write updates of
+// shared databases.
+func (db *DB) Clone() *DB {
+	c := &DB{rels: make(map[string]*Relation, len(db.rels)), order: append([]string(nil), db.order...)}
+	for k, v := range db.rels {
+		c.rels[k] = v
+	}
+	return c
+}
+
 // Relation returns the named relation or nil.
 func (db *DB) Relation(name string) *Relation { return db.rels[name] }
 

@@ -1,0 +1,364 @@
+// Package server exposes ranked any-k enumeration over HTTP with resumable
+// enumeration sessions — the paper's "optimal time-to-first result, then more
+// on demand" contract as a paginated API.
+//
+//	POST   /v1/datasets                         generate/replace a named dataset
+//	GET    /v1/datasets                         list datasets
+//	POST   /v1/datasets/{name}/relations/{rel}  upload a CSV relation
+//	POST   /v1/queries                          open an enumeration session
+//	GET    /v1/queries/{id}                     session status (paging cursor)
+//	GET    /v1/queries/{id}/next?k=N            next N ranked rows
+//	DELETE /v1/queries/{id}                     close a session
+//	GET    /v1/metrics                          counters snapshot
+//	GET    /healthz                             liveness
+//
+// Sessions hold the underlying any-k iterator, so a client pages through
+// results lazily instead of draining everything; sessions expire on a TTL and
+// the table is LRU-bounded (see Manager).
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anyk/internal/dataset"
+	"anyk/internal/relation"
+)
+
+// maxPageK caps how many rows one next call may request, bounding per-request
+// work and response size; page repeatedly for more.
+const maxPageK = 100_000
+
+// maxUploadBytes caps CSV upload bodies.
+const maxUploadBytes = 256 << 20
+
+// Metrics counts server activity; all fields are atomics so handlers update
+// them lock-free.
+type Metrics struct {
+	Requests        atomic.Int64
+	Errors          atomic.Int64
+	DatasetsCreated atomic.Int64
+	RowsServed      atomic.Int64
+}
+
+// Server is the HTTP query service: named datasets plus the session table.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*relation.DB
+
+	Sessions *Manager
+	Log      *slog.Logger
+	Metrics  Metrics
+}
+
+// New returns a Server using the given session manager. A nil logger
+// discards request logs.
+func New(sessions *Manager, logger *slog.Logger) *Server {
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	return &Server{
+		datasets: map[string]*relation.DB{},
+		Sessions: sessions,
+		Log:      logger,
+	}
+}
+
+// Handler returns the routed HTTP handler with logging/metrics middleware
+// applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/datasets", s.handleCreateDataset)
+	mux.HandleFunc("GET /v1/datasets", s.handleListDatasets)
+	mux.HandleFunc("POST /v1/datasets/{name}/relations/{rel}", s.handleUploadRelation)
+	mux.HandleFunc("POST /v1/queries", s.handleCreateQuery)
+	mux.HandleFunc("GET /v1/queries/{id}", s.handleGetSession)
+	mux.HandleFunc("GET /v1/queries/{id}/next", s.handleNext)
+	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleDeleteSession)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s.instrument(mux)
+}
+
+// statusWriter records the response status for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with request counting and structured request logging.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		s.Metrics.Requests.Add(1)
+		h.ServeHTTP(sw, r)
+		if sw.status >= 400 {
+			s.Metrics.Errors.Add(1)
+		}
+		s.Log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"duration", time.Since(start),
+		)
+	})
+}
+
+// decodeJSON strictly decodes the request body into v.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}
+
+// buildDataset runs the internal/dataset generator named by req.Kind with
+// the request's defaults applied.
+func buildDataset(req *DatasetRequest) (*relation.DB, error) {
+	l := req.Relations
+	if l < 1 {
+		l = 4
+	}
+	n := req.N
+	if n < 1 {
+		n = 1000
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return dataset.Build(req.Kind, l, n, req.Domain, seed)
+}
+
+// describe summarizes db for wire responses. Aliased relations (self-join
+// datasets) are reported once per name, like db.Names.
+func describe(name string, db *relation.DB) DatasetResponse {
+	resp := DatasetResponse{Name: name, Relations: []RelationInfo{}}
+	for _, rn := range db.Names() {
+		rel := db.Relation(rn)
+		resp.Relations = append(resp.Relations, RelationInfo{Name: rn, Attrs: rel.Attrs, Rows: rel.Size()})
+	}
+	return resp
+}
+
+func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "dataset name is required")
+		return
+	}
+	db, err := buildDataset(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	// Describe before registering: once db is in the table a concurrent
+	// upload may mutate it.
+	resp := describe(req.Name, db)
+	s.mu.Lock()
+	s.datasets[req.Name] = db
+	s.mu.Unlock()
+	s.Metrics.DatasetsCreated.Add(1)
+	s.Log.Info("dataset created", "name", req.Name, "kind", req.Kind)
+	writeJSON(w, http.StatusCreated, resp)
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]DatasetResponse, 0, len(names))
+	for _, n := range names {
+		out = append(out, describe(n, s.datasets[n]))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleUploadRelation ingests a CSV body (see relation.LoadCSV for the
+// format) as relation {rel} of dataset {name}, creating the dataset if it
+// does not exist. ?attrs=A,B declares the schema; without it the arity is
+// inferred from the first data row.
+func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
+	name, relName := r.PathValue("name"), r.PathValue("rel")
+	// MaxBytesReader (unlike a plain LimitReader) errors the read past the
+	// cap, so an oversized upload is rejected instead of silently truncated.
+	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
+	var rel *relation.Relation
+	var err error
+	if attrs := r.URL.Query().Get("attrs"); attrs != "" {
+		rel, err = relation.LoadCSV(body, relName, strings.Split(attrs, ",")...)
+	} else {
+		rel, err = relation.LoadCSVAuto(body, relName)
+	}
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				fmt.Sprintf("upload exceeds %d bytes", maxUploadBytes))
+			return
+		}
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	// Copy-on-write: registered DBs are never mutated, so readers (query
+	// opens mid-enumeration-build) need no lock beyond the map lookup.
+	s.mu.Lock()
+	db, ok := s.datasets[name]
+	if !ok {
+		db = relation.NewDB()
+	}
+	db = db.Clone()
+	db.AddRelation(rel)
+	s.datasets[name] = db
+	s.mu.Unlock()
+	s.Log.Info("relation uploaded", "dataset", name, "relation", relName, "rows", rel.Size())
+	writeJSON(w, http.StatusCreated, RelationInfo{Name: rel.Name, Attrs: rel.Attrs, Rows: rel.Size()})
+}
+
+func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	s.mu.RLock()
+	db, ok := s.datasets[req.Dataset]
+	s.mu.RUnlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeDatasetNotFound, fmt.Sprintf("dataset %q not found", req.Dataset))
+		return
+	}
+	// db is safe to read lock-free for however long the enumeration build
+	// takes: uploads replace the registered DB (copy-on-write), never mutate
+	// it.
+	o, err := openIter(db, &req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+		return
+	}
+	sess := s.Sessions.Create(o.it, o.q.String(), o.dioid, o.alg.String())
+	s.Log.Info("session created", "id", sess.ID, "query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
+	writeJSON(w, http.StatusCreated, QueryResponse{ID: sess.ID, Vars: o.it.Vars(), Trees: o.it.Trees()})
+}
+
+// acquireSession resolves {id} or writes the structured 404.
+func (s *Server) acquireSession(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	sess, err := s.Sessions.Acquire(id)
+	if err != nil {
+		if errors.Is(err, ErrSessionNotFound) {
+			writeError(w, http.StatusNotFound, CodeSessionNotFound,
+				fmt.Sprintf("session %q not found (unknown, expired, or evicted)", id))
+		} else {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+		}
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess := s.acquireSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.Mu.Lock()
+	resp := SessionResponse{
+		ID:        sess.ID,
+		Query:     sess.Query,
+		Dioid:     sess.Dioid,
+		Algorithm: sess.Algorithm,
+		Vars:      sess.It.Vars(),
+		Trees:     sess.It.Trees(),
+		Served:    sess.Served,
+		Done:      sess.Done,
+	}
+	sess.Mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	sess := s.acquireSession(w, r)
+	if sess == nil {
+		return
+	}
+	k := 10
+	if raw := r.URL.Query().Get("k"); raw != "" {
+		var err error
+		if k, err = strconv.Atoi(raw); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, fmt.Sprintf("k must be a positive integer, got %q", raw))
+			return
+		}
+	}
+	if k > maxPageK {
+		k = maxPageK
+	}
+	sess.Mu.Lock()
+	resp := NextResponse{ID: sess.ID, Rows: []WireRow{}}
+	for len(resp.Rows) < k && !sess.Done {
+		// Stop between rows if the client went away or the session was
+		// evicted/shut down mid-page.
+		if r.Context().Err() != nil || sess.Ctx.Err() != nil {
+			break
+		}
+		vals, weight, ok := sess.It.Next()
+		if !ok {
+			sess.Done = true
+			break
+		}
+		sess.Served++
+		resp.Rows = append(resp.Rows, WireRow{Rank: sess.Served, Vals: vals, Weight: weight})
+	}
+	resp.Served, resp.Done = sess.Served, sess.Done
+	sess.Mu.Unlock()
+	s.Metrics.RowsServed.Add(int64(len(resp.Rows)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.Sessions.Remove(id) {
+		writeError(w, http.StatusNotFound, CodeSessionNotFound, fmt.Sprintf("session %q not found (unknown, expired, or evicted)", id))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		Requests:        s.Metrics.Requests.Load(),
+		Errors:          s.Metrics.Errors.Load(),
+		DatasetsCreated: s.Metrics.DatasetsCreated.Load(),
+		SessionsCreated: s.Sessions.Created(),
+		SessionsEvicted: s.Sessions.Evicted(),
+		SessionsLive:    s.Sessions.Len(),
+		RowsServed:      s.Metrics.RowsServed.Load(),
+	})
+}

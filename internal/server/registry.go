@@ -1,0 +1,167 @@
+package server
+
+// The registry maps wire-level names onto the generic library: dioid names to
+// dioid.Dioid instantiations, algorithm names to core.Algorithm, and query
+// strings to *query.CQ. Because engine.Iterator is generic over the weight
+// type, the registry hides the instantiation behind the type-erased Iter so
+// the session manager can hold float64 and lexicographic sessions uniformly.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Iter is a type-erased ranked iterator over output rows. Weight is
+// JSON-encodable (float64 or []float64).
+type Iter interface {
+	Next() (vals []relation.Value, weight any, ok bool)
+	Vars() []string
+	Trees() int
+}
+
+// eraseIter adapts engine.Iterator[W] to Iter via a weight converter.
+type eraseIter[W any] struct {
+	it     *engine.Iterator[W]
+	weight func(W) any
+}
+
+func (e *eraseIter[W]) Next() ([]relation.Value, any, bool) {
+	r, ok := e.it.Next()
+	if !ok {
+		return nil, nil, false
+	}
+	return r.Vals, e.weight(r.Weight), true
+}
+
+func (e *eraseIter[W]) Vars() []string { return e.it.Vars }
+func (e *eraseIter[W]) Trees() int     { return e.it.Trees }
+
+// enumerate instantiates Enumerate at W and erases the result.
+func enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt engine.Options, weight func(W) any) (Iter, error) {
+	it, err := engine.Enumerate[W](db, q, d, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &eraseIter[W]{it: it, weight: weight}, nil
+}
+
+func scalarWeight(w float64) any   { return w }
+func vectorWeight(v dioid.Vec) any { return []float64(v) }
+
+// dioidBuilders maps a dioid name to an erased enumeration constructor.
+// Dioids whose shape depends on the query (like the lexicographic one)
+// derive it from q inside their builder.
+var dioidBuilders = map[string]func(*relation.DB, *query.CQ, core.Algorithm, engine.Options) (Iter, error){
+	"min": func(db *relation.DB, q *query.CQ, alg core.Algorithm, opt engine.Options) (Iter, error) {
+		return enumerate[float64](db, q, dioid.Tropical{}, alg, opt, scalarWeight)
+	},
+	"max": func(db *relation.DB, q *query.CQ, alg core.Algorithm, opt engine.Options) (Iter, error) {
+		return enumerate[float64](db, q, dioid.MaxPlus{}, alg, opt, scalarWeight)
+	},
+	"maxtimes": func(db *relation.DB, q *query.CQ, alg core.Algorithm, opt engine.Options) (Iter, error) {
+		return enumerate[float64](db, q, dioid.MaxTimes{}, alg, opt, scalarWeight)
+	},
+	"minmax": func(db *relation.DB, q *query.CQ, alg core.Algorithm, opt engine.Options) (Iter, error) {
+		return enumerate[float64](db, q, dioid.MinMax{}, alg, opt, scalarWeight)
+	},
+	"lex": func(db *relation.DB, q *query.CQ, alg core.Algorithm, opt engine.Options) (Iter, error) {
+		return enumerate[dioid.Vec](db, q, dioid.NewLex(len(q.Atoms)), alg, opt, vectorWeight)
+	},
+}
+
+// dioidAliases maps accepted spellings onto canonical dioid names.
+var dioidAliases = map[string]string{
+	"":              "min",
+	"tropical":      "min",
+	"maxplus":       "max",
+	"multiplicity":  "maxtimes",
+	"bottleneck":    "minmax",
+	"lexicographic": "lex",
+}
+
+// canonicalDioid resolves an incoming dioid name or returns an error listing
+// the valid names.
+func canonicalDioid(name string) (string, error) {
+	n := strings.ToLower(strings.TrimSpace(name))
+	if alias, ok := dioidAliases[n]; ok {
+		n = alias
+	}
+	if _, ok := dioidBuilders[n]; !ok {
+		return "", fmt.Errorf("unknown dioid %q (want one of %s)", name, strings.Join(DioidNames(), ", "))
+	}
+	return n, nil
+}
+
+// DioidNames lists the canonical dioid names, sorted.
+func DioidNames() []string {
+	names := make([]string, 0, len(dioidBuilders))
+	for n := range dioidBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// parseAlgorithm resolves a wire algorithm name; empty defaults to Take2.
+func parseAlgorithm(s string) (core.Algorithm, error) {
+	if s == "" {
+		return core.Take2, nil
+	}
+	return core.ParseAlgorithm(s)
+}
+
+// resolveQuery turns a QueryRequest's query fields into a CQ: exactly one of
+// the family name and the Datalog string must be set.
+func resolveQuery(req *QueryRequest) (*query.CQ, error) {
+	switch {
+	case req.Datalog != "" && req.Query != "":
+		return nil, fmt.Errorf("set only one of \"query\" and \"datalog\", not both")
+	case req.Datalog != "":
+		return query.Parse(req.Datalog)
+	case req.Query != "":
+		return query.ParseFamily(req.Query)
+	}
+	return nil, fmt.Errorf("request needs either \"query\" (a family like path4) or \"datalog\"")
+}
+
+// opened is everything a new session needs: the type-erased iterator plus the
+// canonical names the request resolved to.
+type opened struct {
+	it    Iter
+	q     *query.CQ
+	dioid string
+	alg   core.Algorithm
+}
+
+// openIter builds the type-erased ranked iterator a session will hold.
+func openIter(db *relation.DB, req *QueryRequest) (*opened, error) {
+	q, err := resolveQuery(req)
+	if err != nil {
+		return nil, err
+	}
+	dname, err := canonicalDioid(req.Dioid)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := parseAlgorithm(req.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	sem, err := engine.ParseSemantics(req.Semantics)
+	if err != nil {
+		return nil, err
+	}
+	opt := engine.Options{Semantics: sem, Dedup: req.Dedup}
+	it, err := dioidBuilders[dname](db, q, alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &opened{it: it, q: q, dioid: dname, alg: alg}, nil
+}

@@ -1,0 +1,208 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrSessionNotFound is returned by Manager.Acquire for unknown ids and for
+// sessions that were evicted (TTL or LRU) — the two are indistinguishable to
+// clients by design, so eviction never leaks whether an id ever existed.
+var ErrSessionNotFound = errors.New("session not found or expired")
+
+// Session is one resumable enumeration: a type-erased ranked iterator plus
+// the paging cursor. Callers must hold Mu while advancing It so concurrent
+// next requests for the same session serialize instead of interleaving rows.
+type Session struct {
+	ID        string
+	Query     string
+	Dioid     string
+	Algorithm string
+
+	// Mu guards It, Served and Done.
+	Mu     sync.Mutex
+	It     Iter
+	Served int
+	Done   bool
+
+	// Ctx is canceled when the session is evicted or the manager shuts down;
+	// long next loops poll it between rows.
+	Ctx    context.Context
+	cancel context.CancelFunc
+
+	created  time.Time
+	lastUsed time.Time
+	elem     *list.Element
+}
+
+// Manager owns the session table: capacity-bounded LRU with TTL expiry.
+// All exported methods are safe for concurrent use.
+type Manager struct {
+	mu       sync.Mutex
+	byID     map[string]*Session
+	lru      *list.List // front = most recently used
+	capacity int
+	ttl      time.Duration
+	baseCtx  context.Context
+	now      func() time.Time // swappable for tests
+	evicted  atomic.Int64
+	created  atomic.Int64
+}
+
+// NewManager returns a Manager holding at most capacity sessions, each
+// expiring ttl after its last use. ctx cancellation (daemon shutdown)
+// propagates to every session. capacity < 1 defaults to 1024; ttl <= 0
+// disables expiry.
+func NewManager(ctx context.Context, capacity int, ttl time.Duration) *Manager {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Manager{
+		byID:     map[string]*Session{},
+		lru:      list.New(),
+		capacity: capacity,
+		ttl:      ttl,
+		baseCtx:  ctx,
+		now:      time.Now,
+	}
+}
+
+// newID returns a 128-bit random hex session id.
+func newID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Create registers a new session around it and returns it. If the table is
+// full the least-recently-used session is evicted first.
+func (m *Manager) Create(it Iter, queryName, dioidName, algName string) *Session {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	s := &Session{
+		ID:        newID(),
+		Query:     queryName,
+		Dioid:     dioidName,
+		Algorithm: algName,
+		It:        it,
+		Ctx:       ctx,
+		cancel:    cancel,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	s.created, s.lastUsed = now, now
+	for m.lru.Len() >= m.capacity {
+		oldest := m.lru.Back()
+		if oldest == nil {
+			break
+		}
+		m.evictLocked(oldest.Value.(*Session))
+	}
+	s.elem = m.lru.PushFront(s)
+	m.byID[s.ID] = s
+	m.created.Add(1)
+	return s
+}
+
+// Acquire looks up a live session, refreshing its TTL and LRU position. The
+// caller locks s.Mu itself for however long it iterates; eviction concurrent
+// with iteration is safe because eviction only cancels s.Ctx and drops the
+// table entry — it never touches iterator state.
+func (m *Manager) Acquire(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byID[id]
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	now := m.now()
+	if m.ttl > 0 && now.Sub(s.lastUsed) > m.ttl {
+		m.evictLocked(s)
+		return nil, ErrSessionNotFound
+	}
+	s.lastUsed = now
+	m.lru.MoveToFront(s.elem)
+	return s, nil
+}
+
+// Remove deletes a session explicitly (DELETE endpoint). It reports whether
+// the id was present.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.byID[id]
+	if !ok {
+		return false
+	}
+	// An explicit delete is not an eviction for metrics purposes.
+	m.removeLocked(s)
+	return true
+}
+
+// Sweep evicts every session whose TTL has lapsed and returns how many it
+// removed. The daemon calls it periodically so idle sessions release memory
+// without waiting to be touched.
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ttl <= 0 {
+		return 0
+	}
+	now := m.now()
+	n := 0
+	for e := m.lru.Back(); e != nil; {
+		s := e.Value.(*Session)
+		if now.Sub(s.lastUsed) <= m.ttl {
+			break // LRU order ⇒ everything in front is fresher
+		}
+		prev := e.Prev()
+		m.evictLocked(s)
+		e = prev
+		n++
+	}
+	return n
+}
+
+// Close cancels and drops every session (daemon shutdown).
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.byID {
+		m.removeLocked(s)
+	}
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byID)
+}
+
+// Evicted returns how many sessions TTL/LRU eviction has removed.
+func (m *Manager) Evicted() int64 { return m.evicted.Load() }
+
+// Created returns how many sessions have ever been created.
+func (m *Manager) Created() int64 { return m.created.Load() }
+
+func (m *Manager) evictLocked(s *Session) {
+	m.removeLocked(s)
+	m.evicted.Add(1)
+}
+
+func (m *Manager) removeLocked(s *Session) {
+	delete(m.byID, s.ID)
+	m.lru.Remove(s.elem)
+	s.cancel()
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"anyk/internal/relation"
+)
+
+// stubIter is a canned Iter for manager tests.
+type stubIter struct {
+	rows [][]relation.Value
+	pos  int
+}
+
+func (s *stubIter) Next() ([]relation.Value, any, bool) {
+	if s.pos >= len(s.rows) {
+		return nil, nil, false
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, float64(s.pos), true
+}
+
+func (s *stubIter) Vars() []string { return []string{"x"} }
+func (s *stubIter) Trees() int     { return 1 }
+
+func newStub() Iter { return &stubIter{rows: [][]relation.Value{{1}, {2}, {3}}} }
+
+func TestManagerLRUEviction(t *testing.T) {
+	m := NewManager(context.Background(), 2, 0)
+	a := m.Create(newStub(), "qa", "min", "Take2")
+	b := m.Create(newStub(), "qb", "min", "Take2")
+	// Touch a so b is the LRU victim when c arrives.
+	if _, err := m.Acquire(a.ID); err != nil {
+		t.Fatalf("Acquire(a): %v", err)
+	}
+	c := m.Create(newStub(), "qc", "min", "Take2")
+	if _, err := m.Acquire(b.ID); err != ErrSessionNotFound {
+		t.Fatalf("b should have been LRU-evicted, got err=%v", err)
+	}
+	if b.Ctx.Err() == nil {
+		t.Fatal("evicted session context should be canceled")
+	}
+	for _, id := range []string{a.ID, c.ID} {
+		if _, err := m.Acquire(id); err != nil {
+			t.Fatalf("Acquire(%s): %v", id, err)
+		}
+	}
+	if got := m.Evicted(); got != 1 {
+		t.Fatalf("Evicted() = %d, want 1", got)
+	}
+}
+
+func TestManagerTTL(t *testing.T) {
+	m := NewManager(context.Background(), 10, time.Minute)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	s := m.Create(newStub(), "q", "min", "Take2")
+	now = now.Add(30 * time.Second)
+	if _, err := m.Acquire(s.ID); err != nil {
+		t.Fatalf("Acquire within TTL: %v", err)
+	}
+	// The acquire above refreshed lastUsed; expire from there.
+	now = now.Add(61 * time.Second)
+	if _, err := m.Acquire(s.ID); err != ErrSessionNotFound {
+		t.Fatalf("Acquire after TTL = %v, want ErrSessionNotFound", err)
+	}
+	if s.Ctx.Err() == nil {
+		t.Fatal("expired session context should be canceled")
+	}
+}
+
+func TestManagerSweep(t *testing.T) {
+	m := NewManager(context.Background(), 10, time.Minute)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	old1 := m.Create(newStub(), "q", "min", "Take2")
+	old2 := m.Create(newStub(), "q", "min", "Take2")
+	now = now.Add(2 * time.Minute)
+	fresh := m.Create(newStub(), "q", "min", "Take2")
+
+	if n := m.Sweep(); n != 2 {
+		t.Fatalf("Sweep() = %d, want 2", n)
+	}
+	for _, id := range []string{old1.ID, old2.ID} {
+		if _, err := m.Acquire(id); err != ErrSessionNotFound {
+			t.Fatalf("swept session still acquirable: %v", err)
+		}
+	}
+	if _, err := m.Acquire(fresh.ID); err != nil {
+		t.Fatalf("fresh session swept: %v", err)
+	}
+}
+
+func TestManagerRemoveAndClose(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	m := NewManager(ctx, 10, 0)
+	s := m.Create(newStub(), "q", "min", "Take2")
+	if !m.Remove(s.ID) {
+		t.Fatal("Remove returned false for live session")
+	}
+	if m.Remove(s.ID) {
+		t.Fatal("Remove returned true for deleted session")
+	}
+	if got := m.Evicted(); got != 0 {
+		t.Fatalf("explicit Remove should not count as eviction, Evicted() = %d", got)
+	}
+
+	s2 := m.Create(newStub(), "q", "min", "Take2")
+	m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("Len() after Close = %d, want 0", m.Len())
+	}
+	if s2.Ctx.Err() == nil {
+		t.Fatal("Close should cancel session contexts")
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"anyk/internal/relation"
+)
+
+// Error codes returned in ErrorResponse.Error.Code. Clients should branch on
+// the code, not the message.
+const (
+	CodeBadRequest      = "bad_request"
+	CodeDatasetNotFound = "dataset_not_found"
+	CodeSessionNotFound = "session_not_found"
+	CodePayloadTooLarge = "payload_too_large"
+	CodeInternal        = "internal"
+)
+
+// ErrorResponse is the structured error body every non-2xx response carries.
+type ErrorResponse struct {
+	Error ErrorBody `json:"error"`
+}
+
+// ErrorBody is the code + human-readable message of an ErrorResponse.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// DatasetRequest creates or regenerates a named dataset (POST /v1/datasets).
+// Kind selects a generator from internal/dataset: "uniform", "worstcase",
+// "bitcoin", "twitter", "i1", "i2", or "empty" (a bare database to upload CSV
+// relations into).
+type DatasetRequest struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	// Relations is ℓ, the number of generated relations R1..Rℓ (default 4).
+	Relations int `json:"relations,omitempty"`
+	// N is tuples per relation (uniform/worstcase) or nodes (graph kinds).
+	N int `json:"n,omitempty"`
+	// Domain overrides the uniform generator's domain size (default n/10).
+	Domain int   `json:"domain,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+}
+
+// RelationInfo describes one relation of a dataset.
+type RelationInfo struct {
+	Name  string   `json:"name"`
+	Attrs []string `json:"attrs"`
+	Rows  int      `json:"rows"`
+}
+
+// DatasetResponse describes a dataset (creation response and list entries).
+type DatasetResponse struct {
+	Name      string         `json:"name"`
+	Relations []RelationInfo `json:"relations"`
+}
+
+// QueryRequest opens an enumeration session (POST /v1/queries). Exactly one
+// of Query (a built-in family: path<l>, star<l>, cycle<l>, cartesian<l>) or
+// Datalog (a full query string for query.Parse) must be set.
+type QueryRequest struct {
+	Dataset string `json:"dataset"`
+	Query   string `json:"query,omitempty"`
+	Datalog string `json:"datalog,omitempty"`
+	// Dioid names the ranking order: "min" (tropical, default), "max",
+	// "maxtimes", "minmax", or "lex".
+	Dioid string `json:"dioid,omitempty"`
+	// Algorithm is a core.Algorithm name (default Take2).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Semantics applies to queries with projections: "all" or "min".
+	Semantics string `json:"semantics,omitempty"`
+	// Dedup filters consecutive duplicate rows.
+	Dedup bool `json:"dedup,omitempty"`
+}
+
+// QueryResponse announces a new enumeration session.
+type QueryResponse struct {
+	ID string `json:"id"`
+	// Vars is the output schema: the order of Row.Vals in NextResponse.
+	Vars []string `json:"vars"`
+	// Trees is the number of T-DP problems the query decomposed into.
+	Trees int `json:"trees"`
+}
+
+// SessionResponse reports the resumable state of a session
+// (GET /v1/queries/{id}).
+type SessionResponse struct {
+	ID        string   `json:"id"`
+	Query     string   `json:"query"`
+	Dioid     string   `json:"dioid"`
+	Algorithm string   `json:"algorithm"`
+	Vars      []string `json:"vars"`
+	Trees     int      `json:"trees"`
+	// Served is how many ranked rows the session has emitted so far; the next
+	// page starts at rank Served+1.
+	Served int  `json:"served"`
+	Done   bool `json:"done"`
+}
+
+// WireRow is one ranked answer. Weight is a float64 for numeric dioids and a
+// []float64 vector for the lexicographic dioid.
+type WireRow struct {
+	Rank   int              `json:"rank"`
+	Vals   []relation.Value `json:"vals"`
+	Weight any              `json:"weight"`
+}
+
+// NextResponse is one page of ranked answers
+// (GET /v1/queries/{id}/next?k=N). Rows preserve rank order across successive
+// calls; Done reports that the enumeration is exhausted (a later call returns
+// zero rows and Done=true again — paging past the end is not an error).
+type NextResponse struct {
+	ID     string    `json:"id"`
+	Rows   []WireRow `json:"rows"`
+	Served int       `json:"served"`
+	Done   bool      `json:"done"`
+}
+
+// MetricsResponse is the GET /v1/metrics snapshot.
+type MetricsResponse struct {
+	Requests        int64 `json:"requests"`
+	Errors          int64 `json:"errors"`
+	DatasetsCreated int64 `json:"datasets_created"`
+	SessionsCreated int64 `json:"sessions_created"`
+	SessionsEvicted int64 `json:"sessions_evicted"`
+	SessionsLive    int   `json:"sessions_live"`
+	RowsServed      int64 `json:"rows_served"`
+}
+
+// writeJSON writes v with the given status; encoding failures are reported on
+// the connection only via the already-sent status, so v must be encodable.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes a structured ErrorResponse.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+}
