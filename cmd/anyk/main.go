@@ -27,7 +27,7 @@ import (
 )
 
 var (
-	queryFlag   = flag.String("query", "path4", "query: path<l>, star<l>, cycle<l>, cartesian<l>")
+	queryFlag   = flag.String("query", "path4", "query: path<l>, star<l>, cycle<l>, cartesian<l>, clique<k>")
 	datalogFlag = flag.String("datalog", "", "Datalog query overriding -query, e.g. 'Q(*) :- R1(x,y), R2(y,z)'; atoms must reference R1..Rn of the generated dataset")
 	dataFlag    = flag.String("data", "uniform", "dataset: uniform, worstcase, bitcoin, twitter, i1, i2")
 	nFlag       = flag.Int("n", 10000, "tuples per relation (uniform/worstcase) or nodes (graphs)")
@@ -66,11 +66,18 @@ func main() {
 	}
 	fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
 	start := time.Now()
-	rows, vars, err := run(db, q, alg, *orderFlag, *kFlag)
+	rows, vars, plan, err := run(db, q, alg, *orderFlag, *kFlag)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if plan != nil {
+		fmt.Fprintf(summary, "plan: route=%s width=%d trees=%d\n", plan.Route, plan.Width, plan.Trees)
+		for i, b := range plan.Bags {
+			fmt.Fprintf(summary, "  bag %d (parent %d): vars=%s cover=%s assigned=%s\n",
+				i, b.Parent, strings.Join(b.Vars, ","), strings.Join(b.Cover, " "), strings.Join(b.Assigned, " "))
+		}
+	}
 	switch {
 	case *jsonFlag:
 		if err := writeJSON(rows, vars); err != nil {
@@ -112,7 +119,7 @@ func writeJSON(rows []core.Row[float64], vars []string) error {
 	return bw.Flush()
 }
 
-func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], []string, error) {
+func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], []string, *engine.PlanInfo, error) {
 	var d dioid.Dioid[float64]
 	switch order {
 	case "min":
@@ -120,13 +127,13 @@ func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) 
 	case "max":
 		d = dioid.MaxPlus{}
 	default:
-		return nil, nil, fmt.Errorf("unknown order %q", order)
+		return nil, nil, nil, fmt.Errorf("unknown order %q", order)
 	}
 	it, err := engine.Enumerate[float64](db, q, d, alg)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return it.Drain(k), it.Vars, nil
+	return it.Drain(k), it.Vars, it.Plan, nil
 }
 
 func fatal(err error) {

@@ -29,12 +29,23 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "", "figure/table id to regenerate (fig5, fig9, fig10..fig14, fig17, fig19); prefixes select groups")
+	figFlag   = flag.String("fig", "", "figure/table id to regenerate (fig5, fig9, fig10..fig14, fig17, fig19, ghd1); prefixes select groups")
 	allFlag   = flag.Bool("all", false, "run every experiment")
 	scaleFlag = flag.Float64("scale", 1, "multiply default input sizes")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (medians)")
 	seedFlag  = flag.Int64("seed", 42, "random seed")
+	jsonFlag  = flag.Bool("bench-json", false, "also write machine-readable results (TTF, totals, delay percentiles) to BENCH_results.json")
 )
+
+// benchRecords accumulates every panel's series for -bench-json.
+var benchRecords []bench.Record
+
+// record captures one panel's series when -bench-json is active.
+func record(figure string, series []bench.Series) {
+	if *jsonFlag {
+		benchRecords = append(benchRecords, bench.Records(figure, series)...)
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -56,6 +67,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matches %q\n", *figFlag)
 		os.Exit(2)
 	}
+	if *jsonFlag {
+		if err := bench.WriteRecords("BENCH_results.json", benchRecords); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d series to BENCH_results.json\n", len(benchRecords))
+	}
 }
 
 type experiment struct {
@@ -75,12 +93,13 @@ func sc(n int) int {
 // panel runs one TT(k) panel over all six algorithms.
 func panel(id, title string, q *query.CQ, db *relation.DB, k int) {
 	cfg := bench.Config{
-		Name:        fmt.Sprintf("%s: %s", id, title),
-		Query:       q,
-		DB:          db,
-		K:           k,
-		Checkpoints: bench.Checkpoints(maxInt(k, 1)),
-		Reps:        *repsFlag,
+		Name:         fmt.Sprintf("%s: %s", id, title),
+		Query:        q,
+		DB:           db,
+		K:            k,
+		Checkpoints:  bench.Checkpoints(maxInt(k, 1)),
+		Reps:         *repsFlag,
+		RecordDelays: *jsonFlag,
 	}
 	if k <= 0 {
 		cfg.Checkpoints = nil
@@ -91,6 +110,7 @@ func panel(id, title string, q *query.CQ, db *relation.DB, k int) {
 		return
 	}
 	bench.Print(os.Stdout, cfg.Name, series)
+	record(id, series)
 }
 
 func maxInt(a, b int) int {
@@ -247,6 +267,37 @@ var experiments = []experiment{
 	{"fig14", "Batch vs conventional hash-join engine (PSQL stand-in), full sorted result", fig14},
 	{"fig17", "NPRR vs any-k TTF scaling on adversarial I1", fig17},
 	{"fig19", "Rank-Join sub-optimality on I2", fig19},
+
+	{"ghd1a", "triangle+pendant (GHD-planned) Bitcoin-like: top 10n", func() {
+		db, n := bitcoinDB(4)
+		panel("ghd1a", fmt.Sprintf("Triangle+pendant Bitcoin-like n=%d (top 10n)", n), triangleTailQuery(), db, 10*n)
+	}},
+	{"ghd1b", "chordal square (4-cycle + diagonal, GHD-planned) Bitcoin-like: top 10n", func() {
+		db, n := bitcoinDB(5)
+		panel("ghd1b", fmt.Sprintf("Chordal square Bitcoin-like n=%d (top 10n)", n), chordalSquareQuery(), db, 10*n)
+	}},
+}
+
+// chordalSquareQuery is the ghd1b workload: a 4-cycle with one diagonal (two
+// triangles glued on edge a-c); the planner decomposes it into two triangle
+// bags sharing {a,c}.
+func chordalSquareQuery() *query.CQ {
+	return query.NewCQ("chordsq", nil,
+		query.Atom{Rel: "R1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "R2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "R3", Vars: []string{"c", "d"}},
+		query.Atom{Rel: "R4", Vars: []string{"d", "a"}},
+		query.Atom{Rel: "R5", Vars: []string{"a", "c"}})
+}
+
+// triangleTailQuery is the ghd1a workload: a triangle with a pendant edge —
+// cyclic, not a simple cycle, routed through the hypertree planner.
+func triangleTailQuery() *query.CQ {
+	return query.NewCQ("tritail", nil,
+		query.Atom{Rel: "R1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "R2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "R3", Vars: []string{"c", "a"}},
+		query.Atom{Rel: "R4", Vars: []string{"c", "d"}})
 }
 
 func fig5() {
@@ -279,12 +330,14 @@ func fig5() {
 	series, err := bench.Run(bench.Config{
 		Name: "delay", Query: query.PathQuery(4), DB: db,
 		K: n, Checkpoints: bench.Checkpoints(n), Reps: *repsFlag,
+		RecordDelays: *jsonFlag,
 	})
 	if err != nil {
 		fmt.Println(err)
 		return
 	}
 	bench.Print(os.Stdout, "fig5 delay panel (TT(k))", series)
+	record("fig5", series)
 }
 
 func fig9() {

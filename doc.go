@@ -11,6 +11,9 @@
 //     Recursive, Batch) over T-DP state spaces, plus the UT-DP union
 //   - internal/dpgraph — the shared-group DP state space (equi-join encoding)
 //   - internal/decomp — heavy/light simple-cycle decomposition
+//   - internal/hypertree — the generalized hypertree decomposition (GHD)
+//     planner for arbitrary cyclic full CQs (cliques, triangles with
+//     appendages, chordal cycles, ...)
 //   - internal/join — NPRR generic join, Yannakakis, hash-join and rank-join
 //     baselines
 //   - internal/server — the HTTP query service: resumable ranked-enumeration

@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"time"
 
@@ -21,8 +22,8 @@ import (
 
 // Point is one checkpoint measurement: seconds until the K-th result.
 type Point struct {
-	K       int
-	Seconds float64
+	K       int     `json:"k"`
+	Seconds float64 `json:"seconds"`
 }
 
 // Series is one algorithm's TT(k) curve.
@@ -30,6 +31,13 @@ type Series struct {
 	Algorithm string
 	Points    []Point
 	Total     int // results actually produced
+	// TTF is the median time-to-first-result in seconds (0 when no result
+	// was produced).
+	TTF float64
+	// DelayP50/P95/P99 are inter-result delay percentiles in seconds,
+	// populated only when Config.RecordDelays is set (recording a timestamp
+	// per result has measurable overhead).
+	DelayP50, DelayP95, DelayP99 float64
 }
 
 // Config describes one panel of a figure.
@@ -46,6 +54,9 @@ type Config struct {
 	// the counted |out| exceeds it, Batch is reported as DNF. 0 uses the
 	// default of 20M results.
 	BatchLimit float64
+	// RecordDelays captures a timestamp per result to compute the
+	// inter-result delay percentiles of Series (used by -bench-json).
+	RecordDelays bool
 }
 
 // Checkpoints returns a geometric 1-2-5 ladder up to k.
@@ -95,47 +106,100 @@ func Run(cfg Config) ([]Series, error) {
 			}
 		}
 		var runs [][]Point
+		var ttfs, delays []float64
 		total := 0
 		for rep := 0; rep < reps; rep++ {
-			pts, n, err := runOnce(cfg, alg)
+			r, err := runOnce(cfg, alg)
 			if err != nil {
 				return nil, err
 			}
-			runs = append(runs, pts)
-			total = n
+			runs = append(runs, r.pts)
+			ttfs = append(ttfs, r.ttf)
+			delays = append(delays, r.delays...)
+			total = r.n
 		}
-		out = append(out, Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total})
+		s := Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total, TTF: median(ttfs)}
+		if len(delays) > 0 {
+			sort.Float64s(delays)
+			s.DelayP50 = percentile(delays, 0.50)
+			s.DelayP95 = percentile(delays, 0.95)
+			s.DelayP99 = percentile(delays, 0.99)
+		}
+		out = append(out, s)
 	}
 	return out, nil
 }
 
-func runOnce(cfg Config, alg core.Algorithm) ([]Point, int, error) {
+// oneRun is a single measurement: checkpoint points, result count, TTF, and
+// (when recorded) the inter-result delays.
+type oneRun struct {
+	pts    []Point
+	n      int
+	ttf    float64
+	delays []float64
+}
+
+func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 	checkpoints := cfg.Checkpoints
 	k := cfg.K
 	start := time.Now()
 	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg)
 	if err != nil {
-		return nil, 0, err
+		return oneRun{}, err
 	}
-	var pts []Point
+	var r oneRun
 	ci := 0
-	n := 0
-	for k <= 0 || n < k {
+	prev := 0.0
+	for k <= 0 || r.n < k {
 		_, ok := it.Next()
 		if !ok {
 			break
 		}
-		n++
+		r.n++
+		if r.n == 1 {
+			r.ttf = time.Since(start).Seconds()
+			prev = r.ttf
+		} else if cfg.RecordDelays {
+			now := time.Since(start).Seconds()
+			r.delays = append(r.delays, now-prev)
+			prev = now
+		}
 		if checkpoints != nil {
-			for ci < len(checkpoints) && n == checkpoints[ci] {
-				pts = append(pts, Point{K: n, Seconds: time.Since(start).Seconds()})
+			for ci < len(checkpoints) && r.n == checkpoints[ci] {
+				r.pts = append(r.pts, Point{K: r.n, Seconds: time.Since(start).Seconds()})
 				ci++
 			}
 		}
 	}
 	// final point = TT(last)
-	pts = append(pts, Point{K: n, Seconds: time.Since(start).Seconds()})
-	return pts, n, nil
+	r.pts = append(r.pts, Point{K: r.n, Seconds: time.Since(start).Seconds()})
+	return r, nil
+}
+
+// median returns the middle element of xs (0 for an empty slice).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// percentile reads the p-quantile of an already-sorted slice by nearest-rank
+// (ceil(p·n)), so the tail percentiles include the worst observations.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 func medianPoints(runs [][]Point) []Point {

@@ -2,6 +2,8 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 
@@ -104,5 +106,58 @@ func TestTTFirstAndNPRRFirst(t *testing.T) {
 		if out == 0 {
 			t.Fatal("NPRR found nothing on worst-case data")
 		}
+	}
+}
+
+func TestRecordDelaysAndRecords(t *testing.T) {
+	db := dataset.Uniform(3, 200, 5)
+	series, err := Run(Config{
+		Name:         "rec",
+		Query:        query.PathQuery(3),
+		DB:           db,
+		K:            50,
+		Checkpoints:  Checkpoints(50),
+		Algorithms:   []core.Algorithm{core.Take2},
+		Reps:         2,
+		RecordDelays: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 {
+		t.Fatalf("%d series", len(series))
+	}
+	s := series[0]
+	if s.TTF <= 0 {
+		t.Fatalf("TTF = %v, want > 0", s.TTF)
+	}
+	if s.DelayP50 < 0 || s.DelayP95 < s.DelayP50 || s.DelayP99 < s.DelayP95 {
+		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", s.DelayP50, s.DelayP95, s.DelayP99)
+	}
+	recs := Records("figX", series)
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	r := recs[0]
+	if r.Figure != "figX" || r.Series != "Take2" || r.N != s.Total || r.TTF != s.TTF {
+		t.Fatalf("record %+v does not mirror series %+v", r, s)
+	}
+	if len(r.Points) == 0 || r.Total != s.Points[len(s.Points)-1].Seconds {
+		t.Fatalf("record total %v, points %v", r.Total, r.Points)
+	}
+	path := t.TempDir() + "/BENCH_results.json"
+	if err := WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].Figure != "figX" || back[0].N != r.N {
+		t.Fatalf("round trip %+v", back)
 	}
 }

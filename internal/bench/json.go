@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Record is one machine-readable benchmark series, the unit of the
+// BENCH_results.json file cmd/experiments writes under -bench-json: the perf
+// trajectory of the repo finally has data points scripts can diff.
+type Record struct {
+	// Figure is the experiment/panel id (e.g. "fig10a"), Series the
+	// algorithm the curve belongs to.
+	Figure string `json:"figure"`
+	Series string `json:"series"`
+	// N is the number of results the run produced.
+	N int `json:"n"`
+	// TTF is the median time-to-first-result in seconds; Total the time to
+	// the last produced result.
+	TTF   float64 `json:"ttf_seconds"`
+	Total float64 `json:"total_seconds"`
+	// Delay percentiles over inter-result delays, in seconds (0 when the
+	// run produced fewer than two results).
+	DelayP50 float64 `json:"delay_p50_seconds"`
+	DelayP95 float64 `json:"delay_p95_seconds"`
+	DelayP99 float64 `json:"delay_p99_seconds"`
+	// Points is the TT(k) curve at the run's checkpoints.
+	Points []Point `json:"points"`
+}
+
+// Records flattens a panel's series into JSON records under a figure id.
+func Records(figure string, series []Series) []Record {
+	out := make([]Record, 0, len(series))
+	for _, s := range series {
+		r := Record{
+			Figure:   figure,
+			Series:   s.Algorithm,
+			N:        s.Total,
+			TTF:      s.TTF,
+			DelayP50: s.DelayP50,
+			DelayP95: s.DelayP95,
+			DelayP99: s.DelayP99,
+			Points:   s.Points,
+		}
+		if len(s.Points) > 0 {
+			r.Total = s.Points[len(s.Points)-1].Seconds
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// WriteRecords writes records as an indented JSON array to path.
+func WriteRecords(path string, records []Record) error {
+	b, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

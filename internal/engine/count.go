@@ -1,10 +1,13 @@
 package engine
 
 import (
+	"fmt"
+
 	"anyk/internal/core"
 	"anyk/internal/decomp"
 	"anyk/internal/dioid"
 	"anyk/internal/dpgraph"
+	"anyk/internal/hypertree"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -15,6 +18,9 @@ import (
 // cycles). The experiment harness uses it to size panels and to skip Batch
 // when the full output would not fit in memory — mirroring the paper's
 // observation that Batch runs out of memory on inputs any-k handles easily.
+// Cyclic routes pay their decomposition's bag-materialization cost (bounded
+// by n^width for GHD plans — the same preprocessing any enumeration of the
+// query performs), not the output size; only the counting itself is free.
 func CountResults(db *relation.DB, q *query.CQ) (float64, error) {
 	d := dioid.Tropical{}
 	if query.IsAcyclic(q) {
@@ -33,9 +39,23 @@ func CountResults(db *relation.DB, q *query.CQ) (float64, error) {
 		g.BottomUp()
 		return core.Count(g), nil
 	}
-	shape, err := decomp.DetectCycle(q)
-	if err != nil {
-		return 0, err
+	shape, cycErr := decomp.DetectCycle(q)
+	if cycErr != nil {
+		// Non-simple-cycle cyclic query: count over the GHD plan's tree.
+		plan, err := hypertree.Decompose(q)
+		if err != nil {
+			return 0, fmt.Errorf("counting cyclic query %s: not a simple cycle (%v) and the GHD planner failed: %w", q.Name, cycErr, err)
+		}
+		inputs, err := hypertree.Materialize[float64](d, db, plan)
+		if err != nil {
+			return 0, fmt.Errorf("counting cyclic query %s: GHD plan (width %d, %d bags) failed: %w", q.Name, plan.Width, len(plan.Bags), err)
+		}
+		g, err := dpgraph.Build[float64](d, inputs, q.Vars())
+		if err != nil {
+			return 0, err
+		}
+		g.BottomUp()
+		return core.Count(g), nil
 	}
 	trees, err := decomp.Decompose[float64](d, db, shape)
 	if err != nil {

@@ -1,8 +1,9 @@
 // Package engine is the public API of the library: it routes a conjunctive
 // query to the right any-k machinery — acyclic full CQs through a join-tree
-// T-DP, simple cycles through the heavy/light UT-DP union, and free-connex
-// projections through the pruned connex T-DP — and returns a ranked iterator
-// over output rows.
+// T-DP, simple cycles through the heavy/light UT-DP union, every other
+// cyclic full CQ through the generalized hypertree decomposition planner of
+// package hypertree, and free-connex projections through the pruned connex
+// T-DP — and returns a ranked iterator over output rows.
 //
 // Typical use:
 //
@@ -21,6 +22,7 @@ import (
 	"anyk/internal/decomp"
 	"anyk/internal/dioid"
 	"anyk/internal/dpgraph"
+	"anyk/internal/hypertree"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -47,6 +49,31 @@ type Options struct {
 	Dedup bool
 }
 
+// PlanInfo reports how Enumerate routed a query: the decomposition route,
+// its width, the number of T-DP trees, and — for the GHD route — the bag
+// structure. The HTTP service and the CLI surface it verbatim.
+type PlanInfo struct {
+	// Route is "acyclic" (join-tree T-DP), "simple-cycle" (the §5.3
+	// heavy/light union), or "ghd" (the generalized hypertree planner).
+	Route string `json:"route"`
+	// Width is 1 for acyclic queries, 2 for the simple-cycle bags, and the
+	// generalized hypertree width for planned decompositions.
+	Width int `json:"width"`
+	// Trees is the number of T-DP problems in the union.
+	Trees int `json:"trees"`
+	// Bags describes the GHD join tree (nil on the other routes).
+	Bags []BagInfo `json:"bags,omitempty"`
+}
+
+// BagInfo is one GHD bag as reported in plans.
+type BagInfo struct {
+	Vars     []string `json:"vars"`
+	Cover    []string `json:"cover"`
+	Assigned []string `json:"assigned"`
+	// Parent indexes PlanInfo.Bags; -1 marks a root bag.
+	Parent int `json:"parent"`
+}
+
 // Iterator is a ranked stream of output rows.
 type Iterator[W any] struct {
 	// Vars is the output schema (order of Row.Vals).
@@ -55,6 +82,8 @@ type Iterator[W any] struct {
 	// Trees reports how many T-DP problems the query decomposed into
 	// (1 for acyclic queries, ℓ+1 for ℓ-cycles).
 	Trees int
+	// Plan describes the chosen decomposition route.
+	Plan *PlanInfo
 }
 
 // Next returns the next row in rank order.
@@ -86,9 +115,11 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	if !q.IsFull() {
 		return nil, fmt.Errorf("query %s: projections over cyclic queries are not supported", q.Name)
 	}
-	shape, err := decomp.DetectCycle(q)
-	if err != nil {
-		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (general decompositions can be supplied via EnumerateUnion): %w", q.Name, err)
+	shape, cycErr := decomp.DetectCycle(q)
+	if cycErr != nil {
+		// Not a simple cycle: fall back to the generalized hypertree
+		// decomposition planner, which handles any cyclic full CQ.
+		return enumerateGHD(db, q, d, alg, opt, cycErr)
 	}
 	trees, err := decomp.Decompose[W](d, db, shape)
 	if err != nil {
@@ -98,7 +129,48 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	for i, tr := range trees {
 		inputs[i] = tr.Inputs
 	}
-	return EnumerateUnion[W](d, inputs, q.Vars(), alg, opt)
+	it, err := EnumerateUnion[W](d, inputs, q.Vars(), alg, opt)
+	if err != nil {
+		return nil, err
+	}
+	it.Plan = &PlanInfo{Route: "simple-cycle", Width: 2, Trees: it.Trees}
+	return it, nil
+}
+
+// enumerateGHD runs the planner fallback for cyclic queries that are not
+// simple cycles. Errors name the fallback and its computed width so callers
+// can see which decomposition was attempted.
+func enumerateGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt Options, cycErr error) (*Iterator[W], error) {
+	plan, err := hypertree.Decompose(q)
+	if err != nil {
+		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (%v) and the GHD planner fallback failed: %w", q.Name, cycErr, err)
+	}
+	inputs, err := hypertree.Materialize[W](d, db, plan)
+	if err != nil {
+		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (%v); its GHD fallback plan (width %d, %d bags) failed: %w",
+			q.Name, cycErr, plan.Width, len(plan.Bags), err)
+	}
+	it, err := EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.Vars(), alg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("cyclic query %s: GHD plan (width %d, %d bags) did not lower: %w", q.Name, plan.Width, len(plan.Bags), err)
+	}
+	it.Plan = ghdPlanInfo(plan, it.Trees)
+	return it, nil
+}
+
+func ghdPlanInfo(plan *hypertree.Plan, trees int) *PlanInfo {
+	info := &PlanInfo{Route: "ghd", Width: plan.Width, Trees: trees, Bags: make([]BagInfo, len(plan.Bags))}
+	for i, b := range plan.Bags {
+		bi := BagInfo{Vars: b.Vars, Parent: b.Parent}
+		for _, ai := range b.Cover {
+			bi.Cover = append(bi.Cover, plan.AtomString(ai))
+		}
+		for _, ai := range b.Assigned {
+			bi.Assigned = append(bi.Assigned, plan.AtomString(ai))
+		}
+		info.Bags[i] = bi
+	}
+	return info
 }
 
 // EnumerateUnion runs the UT-DP framework (Section 5.2) over an arbitrary
@@ -158,7 +230,7 @@ func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg
 	if opt.Dedup {
 		it = core.NewDedup[W](it)
 	}
-	return &Iterator[W]{Vars: outVars, it: it, Trees: 1}, nil
+	return &Iterator[W]{Vars: outVars, it: it, Trees: 1, Plan: &PlanInfo{Route: "acyclic", Width: 1, Trees: 1}}, nil
 }
 
 // stageInputs materializes the plan's nodes: full nodes carry the relation's

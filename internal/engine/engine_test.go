@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"anyk/internal/core"
@@ -418,6 +419,153 @@ func TestBottleneckRanking(t *testing.T) {
 	for i := range got {
 		if got[i].Weight != want[i] {
 			t.Fatalf("rank %d: bottleneck %v want %v", i, got[i].Weight, want[i])
+		}
+	}
+}
+
+// ghdQueries are cyclic full CQs that are not simple cycles; Enumerate must
+// route them through the hypertree planner.
+func ghdQueries() []*query.CQ {
+	triTail := query.NewCQ("tritail", nil,
+		query.Atom{Rel: "E1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "E2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "E3", Vars: []string{"c", "a"}},
+		query.Atom{Rel: "E4", Vars: []string{"c", "d"}},
+	)
+	vars := []string{"a", "b", "c", "d"}
+	var cl []query.Atom
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			cl = append(cl, query.Atom{Rel: fmt.Sprintf("K%d%d", i, j), Vars: []string{vars[i], vars[j]}})
+		}
+	}
+	return []*query.CQ{triTail, query.NewCQ("K4", nil, cl...)}
+}
+
+func TestEnumerateGHDMatchesGenericJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	for _, q := range ghdQueries() {
+		db := intDB(r, q, 24, 4)
+		want, err := join.GenericJoin(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		join.SortResults(want)
+		for _, alg := range core.Algorithms {
+			it, err := Enumerate[float64](db, q, dioid.Tropical{}, alg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", q.Name, alg, err)
+			}
+			got := it.Drain(0)
+			if len(got) != len(want) {
+				t.Fatalf("%s/%v: %d rows, want %d", q.Name, alg, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Weight != want[i].Weight {
+					t.Fatalf("%s/%v rank %d: weight %v want %v", q.Name, alg, i, got[i].Weight, want[i].Weight)
+				}
+			}
+			if it.Plan == nil || it.Plan.Route != "ghd" || it.Plan.Width < 2 || len(it.Plan.Bags) == 0 {
+				t.Fatalf("%s/%v: plan not reported for the GHD route: %+v", q.Name, alg, it.Plan)
+			}
+		}
+	}
+}
+
+// TestEnumerateGHDRowValues checks the actual output rows (not just ranks)
+// against the batch join, and that self-joins through aliases work on the
+// GHD route.
+func TestEnumerateGHDRowValues(t *testing.T) {
+	r := rand.New(rand.NewSource(64))
+	q := ghdQueries()[0]
+	edges := relation.New("EDGES", "A1", "A2")
+	for k := 0; k < 40; k++ {
+		edges.Add(float64(r.Intn(30)), int64(r.Intn(5)), int64(r.Intn(5)))
+	}
+	db := relation.NewDB()
+	db.AddRelation(edges)
+	for _, a := range q.Atoms {
+		db.Alias(a.Rel, edges)
+	}
+	want, err := join.GenericJoin(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := it.Drain(0)
+	wantSet := map[string]int{}
+	for _, w := range want {
+		wantSet[fmt.Sprintf("%v|%.4f", w.Vals, w.Weight)]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d rows, want %d", len(got), len(want))
+	}
+	for i, g := range got {
+		if i > 0 && g.Weight < got[i-1].Weight {
+			t.Fatalf("rank %d out of order", i)
+		}
+		k := fmt.Sprintf("%v|%.4f", g.Vals, g.Weight)
+		if wantSet[k] == 0 {
+			t.Fatalf("unexpected row %s", k)
+		}
+		wantSet[k]--
+	}
+}
+
+func TestPlanInfoRoutes(t *testing.T) {
+	r := rand.New(rand.NewSource(65))
+	qa := query.PathQuery(3)
+	it, err := Enumerate[float64](intDB(r, qa, 8, 3), qa, dioid.Tropical{}, core.Take2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Plan == nil || it.Plan.Route != "acyclic" || it.Plan.Width != 1 {
+		t.Fatalf("acyclic plan: %+v", it.Plan)
+	}
+	qc := query.CycleQuery(4)
+	it, err = Enumerate[float64](intDB(r, qc, 8, 3), qc, dioid.Tropical{}, core.Take2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Plan == nil || it.Plan.Route != "simple-cycle" || it.Plan.Trees != 5 {
+		t.Fatalf("simple-cycle plan: %+v", it.Plan)
+	}
+}
+
+// TestGHDErrorNamesPlanner: the unsupported-query error path must name the
+// planner fallback and its computed width, not just DetectCycle's error.
+func TestGHDErrorNamesPlanner(t *testing.T) {
+	db := relation.NewDB() // no relations: materialization must fail
+	q := ghdQueries()[0]
+	_, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2)
+	if err == nil {
+		t.Fatal("expected an error for missing relations")
+	}
+	msg := err.Error()
+	for _, want := range []string{"GHD", "width"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+func TestCountResultsGHD(t *testing.T) {
+	r := rand.New(rand.NewSource(66))
+	for _, q := range ghdQueries() {
+		db := intDB(r, q, 20, 4)
+		want, err := join.GenericJoin(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := CountResults(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(n) != len(want) {
+			t.Fatalf("%s: CountResults=%v want %d", q.Name, n, len(want))
 		}
 	}
 }

@@ -1,0 +1,555 @@
+package hypertree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"anyk/internal/query"
+)
+
+// exhaustiveVarLimit bounds the component size (in variables) up to which the
+// planner tries every elimination order instead of only the greedy ones:
+// 7! = 5040 orders, each processed in polynomial time, keeps small queries
+// exactly planned while large ones fall back to min-fill/min-degree.
+const exhaustiveVarLimit = 7
+
+// Bag is one node of the decomposition's join tree.
+type Bag struct {
+	// Vars is χ(t): the bag's variables, in global first-occurrence order.
+	Vars []string
+	// Cover is λ(t): atom indices whose variables jointly cover Vars. Cover
+	// atoms may bind variables outside the bag; materialization treats them
+	// as existential verification and projects them away.
+	Cover []int
+	// Assigned lists the atoms whose weight (and bag-semantics multiplicity)
+	// this bag carries. Every query atom is assigned to exactly one bag, so
+	// result ranks aggregate each input weight exactly once.
+	Assigned []int
+	// Parent indexes Plan.Bags; -1 parents the bag at the artificial T-DP
+	// root (component roots of disconnected queries).
+	Parent int
+}
+
+// Plan is a GHD evaluation plan: bags in preorder (every parent precedes its
+// children), covering and assigning every atom of Q.
+type Plan struct {
+	Q    *query.CQ
+	Bags []Bag
+	// Width is the generalized hypertree width of the plan: the maximum
+	// cover size over all bags (1 = acyclic).
+	Width int
+}
+
+// AtomString renders atom ai the way plan summaries report bag contents.
+func (p *Plan) AtomString(ai int) string {
+	a := p.Q.Atoms[ai]
+	return fmt.Sprintf("%s(%s)", a.Rel, strings.Join(a.Vars, ","))
+}
+
+// Decompose plans a GHD for any full CQ with deterministic tie-breaking:
+// per connected component it scores elimination orders (every order for
+// components of at most exhaustiveVarLimit variables, otherwise the min-fill
+// and min-degree greedy orders) by (width, bag count, total bag size) and
+// keeps the first minimum.
+func Decompose(q *query.CQ) (*Plan, error) {
+	if len(q.Atoms) == 0 {
+		return nil, fmt.Errorf("query %s has no atoms", q.Name)
+	}
+	for _, a := range q.Atoms {
+		if len(a.Vars) == 0 {
+			return nil, fmt.Errorf("query %s: atom %s has no variables", q.Name, a.Rel)
+		}
+	}
+	h := NewHypergraph(q)
+	plan := &Plan{Q: q}
+	for _, atoms := range h.Components() {
+		cp := newCompProblem(h, atoms)
+		bags, parent := cp.best()
+		base := len(plan.Bags)
+		order := preorderBags(parent)
+		pos := make([]int, len(parent))
+		for i, b := range order {
+			pos[b] = base + i
+		}
+		assignedTo := cp.assign(bags, order)
+		total := 0
+		for _, as := range assignedTo {
+			total += len(as)
+		}
+		if total != len(atoms) {
+			// The elimination construction guarantees every atom fits in a
+			// bag; reaching this is a planner bug, not a user error.
+			return nil, fmt.Errorf("query %s: GHD planner assigned %d of %d atoms", q.Name, total, len(atoms))
+		}
+		for _, b := range order {
+			bag := Bag{
+				Vars:     cp.varNames(bags[b]),
+				Cover:    cp.cover(bags[b]),
+				Assigned: assignedTo[b],
+				Parent:   -1,
+			}
+			if parent[b] >= 0 {
+				bag.Parent = pos[parent[b]]
+			}
+			if len(bag.Cover) > plan.Width {
+				plan.Width = len(bag.Cover)
+			}
+			plan.Bags = append(plan.Bags, bag)
+		}
+	}
+	return plan, nil
+}
+
+// compProblem is the planning state of one connected component.
+type compProblem struct {
+	h     *Hypergraph
+	atoms []int       // atom ids, ascending
+	vars  []int       // var ids, ascending
+	pos   map[int]int // var id -> local index
+	adj   [][]bool    // primal-graph adjacency over local indices
+}
+
+func newCompProblem(h *Hypergraph, atoms []int) *compProblem {
+	cp := &compProblem{h: h, atoms: atoms, pos: map[int]int{}}
+	seen := map[int]bool{}
+	for _, ai := range atoms {
+		for _, v := range h.Edges[ai] {
+			if !seen[v] {
+				seen[v] = true
+				cp.vars = append(cp.vars, v)
+			}
+		}
+	}
+	sort.Ints(cp.vars)
+	for i, v := range cp.vars {
+		cp.pos[v] = i
+	}
+	n := len(cp.vars)
+	cp.adj = make([][]bool, n)
+	for i := range cp.adj {
+		cp.adj[i] = make([]bool, n)
+	}
+	for _, ai := range atoms {
+		e := h.Edges[ai]
+		for i := 0; i < len(e); i++ {
+			for j := i + 1; j < len(e); j++ {
+				a, b := cp.pos[e[i]], cp.pos[e[j]]
+				cp.adj[a][b], cp.adj[b][a] = true, true
+			}
+		}
+	}
+	return cp
+}
+
+// varNames maps local var indices (sorted) back to variable names in global
+// first-occurrence order.
+func (cp *compProblem) varNames(locals []int) []string {
+	ids := make([]int, len(locals))
+	for i, l := range locals {
+		ids[i] = cp.vars[l]
+	}
+	sort.Ints(ids)
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = cp.h.Vars[id]
+	}
+	return names
+}
+
+// best searches elimination orders and returns the winning decomposition as
+// pruned bags (local var index sets) with per-bag parent pointers.
+func (cp *compProblem) best() (bags [][]int, parent []int) {
+	n := len(cp.vars)
+	type score struct{ width, nbags, total int }
+	// Lower width always wins (bag materialization is O(n^width)). At equal
+	// width prefer MORE bags — a finer decomposition keeps intermediates
+	// small, whereas a single wide bag degenerates into materializing the
+	// whole output (e.g. triangle+tail as one {a,b,c,d} bag covered by two
+	// disjoint edges). Then prefer fewer total bag variables.
+	better := func(a, b score) bool {
+		if a.width != b.width {
+			return a.width < b.width
+		}
+		if a.nbags != b.nbags {
+			return a.nbags > b.nbags
+		}
+		return a.total < b.total
+	}
+	var bestScore score
+	consider := func(order []int) {
+		b, p := cp.decomposeOrder(order)
+		s := score{nbags: len(b)}
+		for _, bag := range b {
+			if c := len(cp.cover(bag)); c > s.width {
+				s.width = c
+			}
+			s.total += len(bag)
+		}
+		if bags == nil || better(s, bestScore) {
+			bags, parent, bestScore = b, p, s
+		}
+	}
+	if n <= exhaustiveVarLimit {
+		permute(n, consider)
+	} else {
+		consider(cp.greedyOrder(fillCost))
+		consider(cp.greedyOrder(degreeCost))
+	}
+	return bags, parent
+}
+
+// permute feeds every permutation of 0..n-1 to f in lexicographic order
+// (Heap's algorithm would be faster but is not order-deterministic).
+func permute(n int, f func([]int)) {
+	rest := make([]int, n)
+	for i := range rest {
+		rest[i] = i
+	}
+	prefix := make([]int, 0, n)
+	var rec func(rest []int)
+	rec = func(rest []int) {
+		if len(rest) == 0 {
+			f(prefix)
+			return
+		}
+		for i := range rest {
+			prefix = append(prefix, rest[i])
+			rem := make([]int, 0, len(rest)-1)
+			rem = append(rem, rest[:i]...)
+			rem = append(rem, rest[i+1:]...)
+			rec(rem)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	rec(rest)
+}
+
+// fillCost counts the edges eliminating v would add (min-fill heuristic).
+func fillCost(adj [][]bool, alive []bool, v int) int {
+	var nb []int
+	for u := range adj {
+		if alive[u] && u != v && adj[v][u] {
+			nb = append(nb, u)
+		}
+	}
+	fill := 0
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			if !adj[nb[i]][nb[j]] {
+				fill++
+			}
+		}
+	}
+	return fill
+}
+
+// degreeCost counts v's alive neighbors (min-degree heuristic).
+func degreeCost(adj [][]bool, alive []bool, v int) int {
+	deg := 0
+	for u := range adj {
+		if alive[u] && u != v && adj[v][u] {
+			deg++
+		}
+	}
+	return deg
+}
+
+// greedyOrder builds an elimination order by repeatedly taking the cheapest
+// vertex under cost, breaking ties on the lower index.
+func (cp *compProblem) greedyOrder(cost func(adj [][]bool, alive []bool, v int) int) []int {
+	n := len(cp.vars)
+	adj := cloneAdj(cp.adj)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		bestV, bestC := -1, 0
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			c := cost(adj, alive, v)
+			if bestV < 0 || c < bestC {
+				bestV, bestC = v, c
+			}
+		}
+		eliminate(adj, alive, bestV)
+		order = append(order, bestV)
+	}
+	return order
+}
+
+func cloneAdj(adj [][]bool) [][]bool {
+	out := make([][]bool, len(adj))
+	for i, row := range adj {
+		out[i] = append([]bool(nil), row...)
+	}
+	return out
+}
+
+// eliminate connects v's alive neighbors into a clique and marks v dead.
+func eliminate(adj [][]bool, alive []bool, v int) {
+	var nb []int
+	for u := range adj {
+		if alive[u] && u != v && adj[v][u] {
+			nb = append(nb, u)
+		}
+	}
+	for i := 0; i < len(nb); i++ {
+		for j := i + 1; j < len(nb); j++ {
+			adj[nb[i]][nb[j]], adj[nb[j]][nb[i]] = true, true
+		}
+	}
+	alive[v] = false
+}
+
+// decomposeOrder turns an elimination order into a pruned tree decomposition:
+// the classic construction (bag of v = v plus its alive neighbors, neighbors
+// cliqued) followed by contraction of bags contained in a tree neighbor.
+func (cp *compProblem) decomposeOrder(order []int) (bags [][]int, parent []int) {
+	n := len(cp.vars)
+	adj := cloneAdj(cp.adj)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	elimPos := make([]int, n)
+	bags = make([][]int, n)
+	for step, v := range order {
+		elimPos[v] = step
+		bag := []int{v}
+		for u := 0; u < n; u++ {
+			if alive[u] && u != v && adj[v][u] {
+				bag = append(bag, u)
+			}
+		}
+		sort.Ints(bag)
+		bags[step] = bag
+		eliminate(adj, alive, v)
+	}
+	// Tree structure: a bag's parent is the bag of its earliest-eliminated
+	// other member (the component stays connected under elimination, so only
+	// the last bag has none).
+	parent = make([]int, n)
+	for step, v := range order {
+		parent[step] = -1
+		for _, u := range bags[step] {
+			if u == v {
+				continue
+			}
+			if parent[step] < 0 || elimPos[u] < parent[step] {
+				parent[step] = elimPos[u]
+			}
+		}
+	}
+	return pruneBags(bags, parent)
+}
+
+// pruneBags repeatedly contracts tree edges whose child bag is contained in
+// the parent (or vice versa), removing the redundant T-DP stages that raw
+// elimination produces.
+func pruneBags(bags [][]int, parent []int) ([][]int, []int) {
+	n := len(bags)
+	removed := make([]bool, n)
+	reparent := func(from, to int) {
+		for i := range parent {
+			if !removed[i] && parent[i] == from {
+				parent[i] = to
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < n; i++ {
+			if removed[i] || parent[i] < 0 {
+				continue
+			}
+			p := parent[i]
+			switch {
+			case subsetInts(bags[i], bags[p]):
+				removed[i] = true
+				reparent(i, p)
+				changed = true
+			case subsetInts(bags[p], bags[i]):
+				// Child absorbs the parent: it inherits the grandparent and
+				// the parent's other children.
+				parent[i] = parent[p]
+				removed[p] = true
+				reparent(p, i)
+				changed = true
+			}
+		}
+	}
+	remap := make([]int, n)
+	var outBags [][]int
+	var outParent []int
+	for i := 0; i < n; i++ {
+		if removed[i] {
+			remap[i] = -1
+			continue
+		}
+		remap[i] = len(outBags)
+		outBags = append(outBags, bags[i])
+		outParent = append(outParent, parent[i])
+	}
+	for i := range outParent {
+		if outParent[i] >= 0 {
+			outParent[i] = remap[outParent[i]]
+		}
+	}
+	return outBags, outParent
+}
+
+func subsetInts(a, b []int) bool {
+	// both sorted
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j >= len(b) || b[j] != x {
+			return false
+		}
+	}
+	return true
+}
+
+// preorderBags serializes the bag tree parents-first; the root is the bag
+// with parent -1 (unique per component), children visit in index order.
+func preorderBags(parent []int) []int {
+	n := len(parent)
+	children := make([][]int, n)
+	root := -1
+	for i, p := range parent {
+		if p < 0 {
+			root = i
+			continue
+		}
+		children[p] = append(children[p], i)
+	}
+	order := make([]int, 0, n)
+	var visit func(int)
+	visit = func(u int) {
+		order = append(order, u)
+		for _, c := range children[u] {
+			visit(c)
+		}
+	}
+	visit(root)
+	return order
+}
+
+// cover computes λ for a bag: a minimal set of component atoms whose
+// variables include every bag variable — exact (smallest, then
+// lexicographically first) for components of up to 16 atoms, greedy beyond.
+func (cp *compProblem) cover(bag []int) []int {
+	want := map[int]bool{}
+	for _, l := range bag {
+		want[cp.vars[l]] = true
+	}
+	if len(cp.atoms) <= 16 {
+		if c := cp.exactCover(want); c != nil {
+			return c
+		}
+	}
+	return cp.greedyCover(want)
+}
+
+func (cp *compProblem) exactCover(want map[int]bool) []int {
+	bound := len(cp.greedyCover(want))
+	for size := 1; size <= bound; size++ {
+		if c := cp.coverOfSize(want, size, 0, nil); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+// coverOfSize finds the lexicographically first cover of exactly the given
+// size, trying atoms from index `from` upward.
+func (cp *compProblem) coverOfSize(want map[int]bool, size, from int, chosen []int) []int {
+	if covered(want, cp, chosen) {
+		return append([]int(nil), chosen...)
+	}
+	if len(chosen) == size {
+		return nil
+	}
+	for i := from; i < len(cp.atoms); i++ {
+		if c := cp.coverOfSize(want, size, i+1, append(chosen, cp.atoms[i])); c != nil {
+			return c
+		}
+	}
+	return nil
+}
+
+func covered(want map[int]bool, cp *compProblem, chosen []int) bool {
+	left := len(want)
+	seen := map[int]bool{}
+	for _, ai := range chosen {
+		for _, v := range cp.h.Edges[ai] {
+			if want[v] && !seen[v] {
+				seen[v] = true
+				left--
+			}
+		}
+	}
+	return left == 0
+}
+
+func (cp *compProblem) greedyCover(want map[int]bool) []int {
+	uncovered := map[int]bool{}
+	for v := range want {
+		uncovered[v] = true
+	}
+	var out []int
+	for len(uncovered) > 0 {
+		bestA, bestGain := -1, 0
+		for _, ai := range cp.atoms {
+			gain := 0
+			for _, v := range cp.h.Edges[ai] {
+				if uncovered[v] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestA, bestGain = ai, gain
+			}
+		}
+		if bestA < 0 {
+			// Unreachable for bags built from component atoms; guard anyway.
+			break
+		}
+		out = append(out, bestA)
+		for _, v := range cp.h.Edges[bestA] {
+			delete(uncovered, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// assign maps every component atom to exactly one bag containing all its
+// variables: the first such bag in preorder. The elimination construction
+// guarantees one exists (an atom's variables form a clique of the primal
+// graph, and the bag of the clique's first-eliminated vertex contains them
+// all).
+func (cp *compProblem) assign(bags [][]int, order []int) map[int][]int {
+	out := map[int][]int{}
+	for _, ai := range cp.atoms {
+		locals := make([]int, 0, len(cp.h.Edges[ai]))
+		for _, v := range cp.h.Edges[ai] {
+			locals = append(locals, cp.pos[v])
+		}
+		sort.Ints(locals)
+		for _, b := range order {
+			if subsetInts(locals, bags[b]) {
+				out[b] = append(out[b], ai)
+				break
+			}
+		}
+	}
+	return out
+}

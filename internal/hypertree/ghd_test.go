@@ -1,0 +1,187 @@
+package hypertree
+
+import (
+	"reflect"
+	"testing"
+
+	"anyk/internal/query"
+)
+
+func triangleTail() *query.CQ {
+	return query.NewCQ("tritail", nil,
+		query.Atom{Rel: "E1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "E2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "E3", Vars: []string{"c", "a"}},
+		query.Atom{Rel: "E4", Vars: []string{"c", "d"}},
+	)
+}
+
+func clique4() *query.CQ {
+	vars := []string{"a", "b", "c", "d"}
+	var atoms []query.Atom
+	n := 0
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			n++
+			atoms = append(atoms, query.Atom{Rel: "E" + string(rune('0'+n)), Vars: []string{vars[i], vars[j]}})
+		}
+	}
+	return query.NewCQ("K4", nil, atoms...)
+}
+
+// checkPlan verifies the structural invariants every plan must satisfy:
+// preorder parents, every atom assigned exactly once to a bag containing its
+// variables, covers covering their bags, and the running-intersection
+// property over bag variables.
+func checkPlan(t *testing.T, q *query.CQ, p *Plan) {
+	t.Helper()
+	h := NewHypergraph(q)
+	assigned := make([]int, len(q.Atoms))
+	for bi, b := range p.Bags {
+		if b.Parent >= bi {
+			t.Fatalf("bag %d has parent %d out of preorder", bi, b.Parent)
+		}
+		vars := map[string]bool{}
+		for _, v := range b.Vars {
+			vars[v] = true
+		}
+		covered := map[string]bool{}
+		for _, ai := range b.Cover {
+			if len(p.Bags[bi].Cover) > p.Width {
+				t.Fatalf("bag %d cover %d exceeds width %d", bi, len(b.Cover), p.Width)
+			}
+			for _, v := range q.Atoms[ai].Vars {
+				covered[v] = true
+			}
+		}
+		for _, v := range b.Vars {
+			if !covered[v] {
+				t.Fatalf("bag %d: variable %s not covered by λ", bi, v)
+			}
+		}
+		for _, ai := range b.Assigned {
+			assigned[ai]++
+			for _, v := range q.Atoms[ai].Vars {
+				if !vars[v] {
+					t.Fatalf("bag %d: assigned atom %s binds %s outside the bag", bi, q.Atoms[ai].Rel, v)
+				}
+			}
+		}
+	}
+	for ai, n := range assigned {
+		if n != 1 {
+			t.Fatalf("atom %s assigned %d times, want exactly 1", q.Atoms[ai].Rel, n)
+		}
+	}
+	// Running intersection: the bags containing each variable form a
+	// connected subtree — exactly one of them has a parent without it.
+	for _, v := range h.Vars {
+		tops := 0
+		for bi, b := range p.Bags {
+			if !containsStr(b.Vars, v) {
+				continue
+			}
+			if b.Parent < 0 || !containsStr(p.Bags[b.Parent].Vars, v) {
+				tops++
+			}
+			_ = bi
+		}
+		if tops > 1 {
+			t.Fatalf("variable %s violates the running-intersection property (%d top bags)", v, tops)
+		}
+	}
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDecomposeTriangle(t *testing.T) {
+	q := query.NewCQ("tri", nil,
+		query.Atom{Rel: "E1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "E2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "E3", Vars: []string{"c", "a"}},
+	)
+	p, err := Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, q, p)
+	if p.Width != 2 {
+		t.Fatalf("triangle width = %d, want 2", p.Width)
+	}
+	if len(p.Bags) != 1 {
+		t.Fatalf("triangle bags = %d, want 1", len(p.Bags))
+	}
+}
+
+func TestDecomposeTriangleTailAndClique(t *testing.T) {
+	for _, q := range []*query.CQ{triangleTail(), clique4()} {
+		p, err := Decompose(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		checkPlan(t, q, p)
+		if p.Width < 2 {
+			t.Fatalf("%s: width %d, want >= 2 for a cyclic query", q.Name, p.Width)
+		}
+	}
+}
+
+func TestDecomposeAcyclicWidthOne(t *testing.T) {
+	q := query.PathQuery(4)
+	p, err := Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, q, p)
+	if p.Width != 1 {
+		t.Fatalf("path width = %d, want 1", p.Width)
+	}
+}
+
+func TestDecomposeDisconnected(t *testing.T) {
+	q := query.NewCQ("twotri", nil,
+		query.Atom{Rel: "E1", Vars: []string{"a", "b"}},
+		query.Atom{Rel: "E2", Vars: []string{"b", "c"}},
+		query.Atom{Rel: "E3", Vars: []string{"c", "a"}},
+		query.Atom{Rel: "F1", Vars: []string{"u", "v"}},
+		query.Atom{Rel: "F2", Vars: []string{"v", "w"}},
+		query.Atom{Rel: "F3", Vars: []string{"w", "u"}},
+	)
+	p, err := Decompose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPlan(t, q, p)
+	roots := 0
+	for _, b := range p.Bags {
+		if b.Parent < 0 {
+			roots++
+		}
+	}
+	if roots != 2 {
+		t.Fatalf("disconnected query has %d root bags, want 2", roots)
+	}
+}
+
+func TestDecomposeDeterministic(t *testing.T) {
+	for _, q := range []*query.CQ{triangleTail(), clique4(), query.CycleQuery(5)} {
+		p1, err := Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Decompose(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(p1, p2) {
+			t.Fatalf("%s: two Decompose runs disagree", q.Name)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package hypertree_test
+
+// Property test for planner correctness (the paper's UT-DP contract): for
+// random cyclic full CQs, enumerating over the GHD plan must return exactly
+// the rows of the worst-case-optimal batch join, in non-decreasing rank
+// order, under both a scalar (tropical) and a structured (lexicographic)
+// dioid.
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+	"anyk/internal/engine"
+	"anyk/internal/hypertree"
+	"anyk/internal/join"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// randomCyclicCQ generates a connected cyclic full CQ of binary atoms over a
+// small variable pool.
+func randomCyclicCQ(r *rand.Rand) *query.CQ {
+	for {
+		nvars := 3 + r.Intn(3)
+		natoms := nvars + 1 + r.Intn(3)
+		vars := make([]string, nvars)
+		for i := range vars {
+			vars[i] = fmt.Sprintf("x%d", i+1)
+		}
+		atoms := make([]query.Atom, natoms)
+		for i := range atoms {
+			a := r.Intn(nvars)
+			b := r.Intn(nvars)
+			for b == a {
+				b = r.Intn(nvars)
+			}
+			atoms[i] = query.Atom{Rel: fmt.Sprintf("R%d", i+1), Vars: []string{vars[a], vars[b]}}
+		}
+		q := query.NewCQ("rand", nil, atoms...)
+		if query.IsAcyclic(q) || len(q.Vars()) != nvars {
+			continue
+		}
+		h := hypertree.NewHypergraph(q)
+		if len(h.Components()) != 1 {
+			continue
+		}
+		return q
+	}
+}
+
+func randomDB(r *rand.Rand, q *query.CQ, rows, dom int) *relation.DB {
+	db := relation.NewDB()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, "A1", "A2")
+		for k := 0; k < rows; k++ {
+			rel.Add(float64(r.Intn(50)), int64(r.Intn(dom)), int64(r.Intn(dom)))
+		}
+		db.AddRelation(rel)
+	}
+	return db
+}
+
+// enumerateGHD runs the full planner pipeline under dioid d.
+func enumerateGHD[W any](t *testing.T, d dioid.Dioid[W], db *relation.DB, q *query.CQ) []core.Row[W] {
+	t.Helper()
+	plan, err := hypertree.Decompose(q)
+	if err != nil {
+		t.Fatalf("%s: decompose: %v", q, err)
+	}
+	inputs, err := hypertree.Materialize[W](d, db, plan)
+	if err != nil {
+		t.Fatalf("%s: materialize: %v", q, err)
+	}
+	it, err := engine.EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.Vars(), core.Take2, engine.Options{})
+	if err != nil {
+		t.Fatalf("%s: enumerate: %v", q, err)
+	}
+	return it.Drain(0)
+}
+
+func rowKey(vals []relation.Value, w float64) string {
+	return fmt.Sprintf("%v|%.6f", vals, w)
+}
+
+func TestGHDMatchesGenericJoinTropical(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		q := randomCyclicCQ(r)
+		db := randomDB(r, q, 4+r.Intn(10), 2+r.Intn(3))
+		want, err := join.GenericJoin(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := enumerateGHD[float64](t, dioid.Tropical{}, db, q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d %s: %d rows, want %d", trial, q, len(got), len(want))
+		}
+		wantSet := map[string]int{}
+		for _, w := range want {
+			wantSet[rowKey(w.Vals, w.Weight)]++
+		}
+		prev := math.Inf(-1)
+		for i, g := range got {
+			if g.Weight < prev {
+				t.Fatalf("trial %d %s: rank %d weight %v < previous %v", trial, q, i, g.Weight, prev)
+			}
+			prev = g.Weight
+			k := rowKey(g.Vals, g.Weight)
+			if wantSet[k] == 0 {
+				t.Fatalf("trial %d %s: unexpected row %s", trial, q, k)
+			}
+			wantSet[k]--
+		}
+	}
+}
+
+func TestGHDMatchesGenericJoinLex(t *testing.T) {
+	r := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 20; trial++ {
+		q := randomCyclicCQ(r)
+		db := randomDB(r, q, 4+r.Intn(8), 2+r.Intn(3))
+		want, err := join.GenericJoin(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := dioid.NewLex(len(q.Atoms))
+		got := enumerateGHD[dioid.Vec](t, d, db, q)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d %s: %d rows, want %d", trial, q, len(got), len(want))
+		}
+		// The row multiset must match, with each lex vector summing to the
+		// batch join's scalar weight; ranks must be lexicographically
+		// non-decreasing.
+		wantSet := map[string]int{}
+		for _, w := range want {
+			wantSet[rowKey(w.Vals, w.Weight)]++
+		}
+		for i, g := range got {
+			if i > 0 && d.Less(g.Weight, got[i-1].Weight) {
+				t.Fatalf("trial %d %s: rank %d out of lexicographic order", trial, q, i)
+			}
+			sum := 0.0
+			for _, x := range g.Weight {
+				sum += x
+			}
+			k := rowKey(g.Vals, sum)
+			if wantSet[k] == 0 {
+				t.Fatalf("trial %d %s: unexpected row %s", trial, q, k)
+			}
+			wantSet[k]--
+		}
+	}
+}
+
+// TestGHDDeterministicTiedOrder: the generic join iterates hash tries, so
+// without the canonical stage sort tied-weight results would enumerate in a
+// different order per run. All-equal weights make every rank a tie.
+func TestGHDDeterministicTiedOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	q := randomCyclicCQ(r)
+	db := relation.NewDB()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, "A1", "A2")
+		for k := 0; k < 12; k++ {
+			rel.Add(1, int64(r.Intn(3)), int64(r.Intn(3)))
+		}
+		db.AddRelation(rel)
+	}
+	first := enumerateGHD[float64](t, dioid.Tropical{}, db, q)
+	for run := 0; run < 3; run++ {
+		again := enumerateGHD[float64](t, dioid.Tropical{}, db, q)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d rows vs %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if fmt.Sprint(again[i].Vals) != fmt.Sprint(first[i].Vals) {
+				t.Fatalf("run %d rank %d: %v vs %v (tied order not deterministic)", run, i, again[i].Vals, first[i].Vals)
+			}
+		}
+	}
+}

@@ -26,17 +26,24 @@ func SortResults(rs []Result) {
 }
 
 // trie is a hash trie over an atom's tuples, keyed by the atom's variables
-// in global variable order. Leaves (depth == arity) carry the weights of the
-// tuples collapsing to that leaf (bag semantics).
+// in global variable order. Leaves (depth == arity) carry the tuples
+// collapsing to that leaf (bag semantics): their weights and original row
+// indices.
 type trie struct {
 	depth    int
 	children map[relation.Value]*trie
-	weights  []float64
+	tuples   []leafTuple
+}
+
+// leafTuple is one input tuple at a trie leaf.
+type leafTuple struct {
+	w   float64
+	row int
 }
 
 func newTrie(depth int) *trie { return &trie{depth: depth, children: map[relation.Value]*trie{}} }
 
-func (t *trie) insert(vals []relation.Value, w float64) {
+func (t *trie) insert(vals []relation.Value, w float64, row int) {
 	node := t
 	for _, v := range vals {
 		c := node.children[v]
@@ -46,7 +53,7 @@ func (t *trie) insert(vals []relation.Value, w float64) {
 		}
 		node = c
 	}
-	node.weights = append(node.weights, w)
+	node.tuples = append(node.tuples, leafTuple{w: w, row: row})
 }
 
 type gjAtom struct {
@@ -57,6 +64,15 @@ type gjAtom struct {
 	arity     int
 }
 
+// Witness identifies the input tuple of one atom that witnesses an output
+// row: the atom's index in the query, the tuple's row index in the atom's
+// relation, and its weight.
+type Witness struct {
+	Atom int
+	Row  int
+	W    float64
+}
+
 // GenericJoin evaluates a full CQ with the worst-case-optimal generic join
 // (NPRR / Generic-Join of Ngo et al.): variables are bound one at a time in
 // global order; at each step the atom with the fewest continuations leads
@@ -64,6 +80,24 @@ type gjAtom struct {
 // witnesses are summed (tropical ⊗); duplicates from bag semantics are
 // expanded.
 func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
+	var out []Result
+	err := GenericJoinWitness(db, q, func(vals []relation.Value, wit []Witness) {
+		w := 0.0
+		for _, x := range wit {
+			w += x.W
+		}
+		out = append(out, Result{Vals: append([]relation.Value(nil), vals...), Weight: w})
+	})
+	return out, err
+}
+
+// GenericJoinWitness runs the same worst-case-optimal join but streams every
+// output row together with one Witness per atom (wit[i] witnesses
+// q.Atoms[i]); duplicate tuples yield one emit per witness combination, just
+// as GenericJoin expands duplicate weights. Both slices are reused between
+// calls — the callback must copy what it keeps. The GHD planner's bag
+// materialization is built on this hook.
+func GenericJoinWitness(db *relation.DB, q *query.CQ, emit func(vals []relation.Value, wit []Witness)) error {
 	vars := q.Vars()
 	varPos := map[string]int{}
 	for i, v := range vars {
@@ -73,7 +107,7 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 	for i, a := range q.Atoms {
 		r := db.Relation(a.Rel)
 		if r == nil {
-			return nil, fmt.Errorf("relation %s not found", a.Rel)
+			return fmt.Errorf("relation %s not found", a.Rel)
 		}
 		order := make([]int, len(a.Vars))
 		for j := range order {
@@ -89,7 +123,7 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 			for d, c := range order {
 				buf[d] = row[c]
 			}
-			atoms[i].root.insert(buf, r.Weights[rIdx])
+			atoms[i].root.insert(buf, r.Weights[rIdx], rIdx)
 		}
 	}
 	nodes := make([]*trie, len(atoms))
@@ -97,14 +131,11 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 		nodes[i] = atoms[i].root
 	}
 	assignment := make([]relation.Value, len(vars))
-	var out []Result
-	emit := func(w float64) {
-		out = append(out, Result{Vals: append([]relation.Value(nil), assignment...), Weight: w})
-	}
-	var rec func(v int, w float64)
-	rec = func(v int, w float64) {
+	wit := make([]Witness, len(atoms))
+	var rec func(v int)
+	rec = func(v int) {
 		if v == len(vars) {
-			emit(w)
+			emit(assignment, wit)
 			return
 		}
 		var active []int
@@ -114,7 +145,7 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 			}
 		}
 		if len(active) == 0 {
-			rec(v+1, w) // unconstrained variable (disconnected queries)
+			rec(v + 1) // unconstrained variable (disconnected queries)
 			return
 		}
 		lead := active[0]
@@ -141,7 +172,7 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 			if !ok {
 				continue
 			}
-			var completed [][]float64
+			var completed []int // atom indices that bound their last variable
 			for _, i := range active {
 				if i == lead {
 					nodes[i] = leadChild
@@ -149,28 +180,30 @@ func GenericJoin(db *relation.DB, q *query.CQ) ([]Result, error) {
 					nodes[i] = nodes[i].children[val]
 				}
 				if nodes[i].depth == atoms[i].arity {
-					completed = append(completed, nodes[i].weights)
+					completed = append(completed, i)
 				}
 			}
 			assignment[v] = val
-			expandWitnesses(completed, 0, w, func(w2 float64) { rec(v+1, w2) })
+			expandWitnesses(nodes, wit, completed, 0, func() { rec(v + 1) })
 			for ai, i := range active {
 				nodes[i] = saved[ai]
 			}
 		}
 	}
-	rec(0, 0)
-	return out, nil
+	rec(0)
+	return nil
 }
 
 // expandWitnesses enumerates the Cartesian product of the completed atoms'
-// duplicate-weight lists, summing one weight from each.
-func expandWitnesses(completed [][]float64, ci int, w float64, f func(float64)) {
+// duplicate-tuple lists, recording one witness per atom.
+func expandWitnesses(nodes []*trie, wit []Witness, completed []int, ci int, f func()) {
 	if ci == len(completed) {
-		f(w)
+		f()
 		return
 	}
-	for _, wi := range completed[ci] {
-		expandWitnesses(completed, ci+1, w+wi, f)
+	ai := completed[ci]
+	for _, t := range nodes[ai].tuples {
+		wit[ai] = Witness{Atom: ai, Row: t.row, W: t.w}
+		expandWitnesses(nodes, wit, completed, ci+1, f)
 	}
 }

@@ -60,11 +60,27 @@ func CartesianQuery(l int) *CQ {
 	return NewCQ(fmt.Sprintf("QX%d", l), nil, atoms...)
 }
 
+// CliqueQuery returns the k-clique query over binary edge relations, one per
+// vertex pair: QKk(x) :- R1(x1,x2), R2(x1,x3), ..., R_{k(k-1)/2}(x_{k-1},x_k).
+// For k >= 4 it is cyclic but not a simple cycle, so it exercises the
+// generalized hypertree planner.
+func CliqueQuery(k int) *CQ {
+	var atoms []Atom
+	n := 0
+	for i := 1; i <= k; i++ {
+		for j := i + 1; j <= k; j++ {
+			n++
+			atoms = append(atoms, Atom{Rel: fmt.Sprintf("R%d", n), Vars: []string{xvar(i), xvar(j)}})
+		}
+	}
+	return NewCQ(fmt.Sprintf("QK%d", k), nil, atoms...)
+}
+
 func xvar(i int) string { return fmt.Sprintf("x%d", i) }
 
 // ParseFamily resolves the built-in query families by name: path<l>,
-// star<l>, cycle<l>, cartesian<l>. Both the CLI and the HTTP service resolve
-// family names through this single table.
+// star<l>, cycle<l>, cartesian<l>, clique<k>. Both the CLI and the HTTP
+// service resolve family names through this single table.
 func ParseFamily(s string) (*CQ, error) {
 	for _, p := range []struct {
 		prefix string
@@ -74,6 +90,7 @@ func ParseFamily(s string) (*CQ, error) {
 		{"star", StarQuery},
 		{"cycle", CycleQuery},
 		{"cartesian", CartesianQuery},
+		{"clique", CliqueQuery},
 	} {
 		if strings.HasPrefix(s, p.prefix) {
 			l, err := strconv.Atoi(strings.TrimPrefix(s, p.prefix))
@@ -83,5 +100,5 @@ func ParseFamily(s string) (*CQ, error) {
 			return p.build(l), nil
 		}
 	}
-	return nil, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>)", s)
+	return nil, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>, clique<k>)", s)
 }

@@ -247,3 +247,37 @@ func TestGYORandomAcyclicAlwaysVerifies(t *testing.T) {
 		}
 	}
 }
+
+func TestCliqueQueryAndParseFamily(t *testing.T) {
+	q := CliqueQuery(4)
+	if len(q.Atoms) != 6 {
+		t.Fatalf("K4 has %d atoms, want 6", len(q.Atoms))
+	}
+	if len(q.Vars()) != 4 {
+		t.Fatalf("K4 has %d vars, want 4", len(q.Vars()))
+	}
+	if IsAcyclic(q) {
+		t.Fatal("K4 must be cyclic")
+	}
+	// Every unordered vertex pair appears exactly once.
+	pairs := map[string]int{}
+	for _, a := range q.Atoms {
+		if len(a.Vars) != 2 || a.Vars[0] == a.Vars[1] {
+			t.Fatalf("bad clique atom %v", a)
+		}
+		pairs[a.Vars[0]+","+a.Vars[1]]++
+	}
+	if len(pairs) != 6 {
+		t.Fatalf("got pairs %v", pairs)
+	}
+	fam, err := ParseFamily("clique5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Atoms) != 10 || fam.Name != "QK5" {
+		t.Fatalf("clique5 = %s with %d atoms", fam.Name, len(fam.Atoms))
+	}
+	if _, err := ParseFamily("cliqueX"); err == nil {
+		t.Fatal("expected error for bad clique size")
+	}
+}

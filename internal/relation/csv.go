@@ -50,7 +50,9 @@ func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
 		}
-		rel.Add(w, vals...)
+		if _, err := rel.TryAdd(w, vals...); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", name, lineNo, err)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err

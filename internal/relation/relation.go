@@ -25,15 +25,28 @@ func New(name string, attrs ...string) *Relation {
 	return &Relation{Name: name, Attrs: attrs}
 }
 
-// Add appends a row with a weight and returns its index. It panics on arity
-// mismatch: schema errors are programming errors, not data errors.
-func (r *Relation) Add(w float64, vals ...Value) int {
+// TryAdd appends a row with a weight and returns its index, rejecting arity
+// mismatches with an error. Data-ingest paths (CSV loading, uploads) use it
+// so malformed input surfaces as a client error instead of crashing the
+// process.
+func (r *Relation) TryAdd(w float64, vals ...Value) (int, error) {
 	if len(vals) != len(r.Attrs) {
-		panic(fmt.Sprintf("relation %s: row arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs)))
+		return -1, fmt.Errorf("relation %s: row arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs))
 	}
 	r.Rows = append(r.Rows, vals)
 	r.Weights = append(r.Weights, w)
-	return len(r.Rows) - 1
+	return len(r.Rows) - 1, nil
+}
+
+// Add appends a row with a weight and returns its index. It panics on arity
+// mismatch: schema errors in code-constructed relations are programming
+// errors, not data errors. Ingest paths use TryAdd instead.
+func (r *Relation) Add(w float64, vals ...Value) int {
+	i, err := r.TryAdd(w, vals...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return i
 }
 
 // Size returns the number of rows.

@@ -134,3 +134,26 @@ func TestGroupByMultiColRandom(t *testing.T) {
 		t.Fatalf("partition lost rows: %d", total)
 	}
 }
+
+func TestTryAddArityMismatch(t *testing.T) {
+	r := New("R", "A", "B")
+	if _, err := r.TryAdd(1.0, 1); err == nil {
+		t.Fatal("expected arity-mismatch error")
+	}
+	if _, err := r.TryAdd(1.0, 1, 2, 3); err == nil {
+		t.Fatal("expected arity-mismatch error")
+	}
+	if r.Size() != 0 {
+		t.Fatalf("failed TryAdd must not append rows, got %d", r.Size())
+	}
+	i, err := r.TryAdd(2.5, 7, 8)
+	if err != nil || i != 0 {
+		t.Fatalf("TryAdd = (%d, %v), want (0, nil)", i, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add must still panic on arity mismatch")
+		}
+	}()
+	r.Add(1.0, 1)
+}

@@ -265,7 +265,7 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.Sessions.Create(o.it, o.q.String(), o.dioid, o.alg.String())
 	s.Log.Info("session created", "id", sess.ID, "query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
-	writeJSON(w, http.StatusCreated, QueryResponse{ID: sess.ID, Vars: o.it.Vars(), Trees: o.it.Trees()})
+	writeJSON(w, http.StatusCreated, QueryResponse{ID: sess.ID, Vars: o.it.Vars(), Trees: o.it.Trees(), Plan: o.it.Plan()})
 }
 
 // acquireSession resolves {id} or writes the structured 404.
@@ -299,6 +299,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		Trees:     sess.It.Trees(),
 		Served:    sess.Served,
 		Done:      sess.Done,
+		Plan:      sess.It.Plan(),
 	}
 	sess.Mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)

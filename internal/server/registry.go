@@ -24,6 +24,9 @@ type Iter interface {
 	Next() (vals []relation.Value, weight any, ok bool)
 	Vars() []string
 	Trees() int
+	// Plan reports the decomposition route the engine chose (route, width,
+	// and — for GHD-planned queries — the bag structure).
+	Plan() *engine.PlanInfo
 }
 
 // eraseIter adapts engine.Iterator[W] to Iter via a weight converter.
@@ -40,8 +43,9 @@ func (e *eraseIter[W]) Next() ([]relation.Value, any, bool) {
 	return r.Vals, e.weight(r.Weight), true
 }
 
-func (e *eraseIter[W]) Vars() []string { return e.it.Vars }
-func (e *eraseIter[W]) Trees() int     { return e.it.Trees }
+func (e *eraseIter[W]) Vars() []string         { return e.it.Vars }
+func (e *eraseIter[W]) Trees() int             { return e.it.Trees }
+func (e *eraseIter[W]) Plan() *engine.PlanInfo { return e.it.Plan }
 
 // enumerate instantiates Enumerate at W and erases the result.
 func enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt engine.Options, weight func(W) any) (Iter, error) {

@@ -405,3 +405,64 @@ func TestSessionStatus(t *testing.T) {
 		t.Fatalf("resumed rank %d, want 5", page.Rows[0].Rank)
 	}
 }
+
+// TestGHDQuerySession: a cyclic CQ that is not a simple cycle (triangle with
+// a pendant edge) must open a session routed through the hypertree planner,
+// report the plan on both the open and status responses, and page rows in
+// non-decreasing rank order.
+func TestGHDQuerySession(t *testing.T) {
+	_, ts := testServer(t, 4)
+	mustCreateDataset(t, ts.URL, "d")
+	open := mustOpenQuery(t, ts.URL, QueryRequest{
+		Dataset: "d",
+		Datalog: "Q(*) :- R1(a,b), R2(b,c), R3(c,a), R4(c,d)",
+	})
+	if open.Plan == nil || open.Plan.Route != "ghd" {
+		t.Fatalf("open response plan = %+v, want ghd route", open.Plan)
+	}
+	if open.Plan.Width < 2 || len(open.Plan.Bags) == 0 {
+		t.Fatalf("ghd plan missing width/bags: %+v", open.Plan)
+	}
+	var status SessionResponse
+	if st := doJSON(t, http.MethodGet, ts.URL+"/v1/queries/"+open.ID, nil, &status); st != http.StatusOK {
+		t.Fatalf("status: %d", st)
+	}
+	if status.Plan == nil || status.Plan.Route != "ghd" {
+		t.Fatalf("status plan = %+v, want ghd route", status.Plan)
+	}
+	prev := -1.0
+	for page := 0; page < 3; page++ {
+		var next NextResponse
+		if st := doJSON(t, http.MethodGet, ts.URL+"/v1/queries/"+open.ID+"/next?k=20", nil, &next); st != http.StatusOK {
+			t.Fatalf("next: %d", st)
+		}
+		for _, row := range next.Rows {
+			w, ok := row.Weight.(float64)
+			if !ok {
+				t.Fatalf("weight %T, want float64", row.Weight)
+			}
+			if w < prev {
+				t.Fatalf("rank %d weight %v < previous %v", row.Rank, w, prev)
+			}
+			prev = w
+		}
+		if next.Done {
+			break
+		}
+	}
+}
+
+// TestCliqueFamilySession: the clique<k> family resolves server-side and
+// routes through the planner for k >= 4.
+func TestCliqueFamilySession(t *testing.T) {
+	_, ts := testServer(t, 4)
+	req := DatasetRequest{Name: "d6", Kind: "uniform", Relations: 6, N: 60, Domain: 6, Seed: 11}
+	var dresp DatasetResponse
+	if st := doJSON(t, http.MethodPost, ts.URL+"/v1/datasets", req, &dresp); st != http.StatusCreated {
+		t.Fatalf("create dataset: status %d", st)
+	}
+	open := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d6", Query: "clique4"})
+	if open.Plan == nil || open.Plan.Route != "ghd" {
+		t.Fatalf("clique4 plan = %+v, want ghd route", open.Plan)
+	}
+}

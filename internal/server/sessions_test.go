@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"anyk/internal/engine"
 	"anyk/internal/relation"
 )
 
@@ -23,8 +24,9 @@ func (s *stubIter) Next() ([]relation.Value, any, bool) {
 	return r, float64(s.pos), true
 }
 
-func (s *stubIter) Vars() []string { return []string{"x"} }
-func (s *stubIter) Trees() int     { return 1 }
+func (s *stubIter) Vars() []string         { return []string{"x"} }
+func (s *stubIter) Trees() int             { return 1 }
+func (s *stubIter) Plan() *engine.PlanInfo { return nil }
 
 func newStub() Iter { return &stubIter{rows: [][]relation.Value{{1}, {2}, {3}}} }
 

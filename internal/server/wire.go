@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"anyk/internal/engine"
 	"anyk/internal/relation"
 )
 
@@ -82,6 +83,9 @@ type QueryResponse struct {
 	Vars []string `json:"vars"`
 	// Trees is the number of T-DP problems the query decomposed into.
 	Trees int `json:"trees"`
+	// Plan reports the decomposition route ("acyclic", "simple-cycle",
+	// "ghd"), its width, and for GHD plans the bag structure.
+	Plan *engine.PlanInfo `json:"plan,omitempty"`
 }
 
 // SessionResponse reports the resumable state of a session
@@ -97,6 +101,8 @@ type SessionResponse struct {
 	// page starts at rank Served+1.
 	Served int  `json:"served"`
 	Done   bool `json:"done"`
+	// Plan is the decomposition route the session's query compiled to.
+	Plan *engine.PlanInfo `json:"plan,omitempty"`
 }
 
 // WireRow is one ranked answer. Weight is a float64 for numeric dioids and a
