@@ -37,6 +37,7 @@ var (
 	seedFlag    = flag.Int64("seed", 1, "random seed")
 	quietFlag   = flag.Bool("quiet", false, "suppress per-result output (timing only)")
 	jsonFlag    = flag.Bool("json", false, "emit one JSON object per row on stdout (summary goes to stderr)")
+	parFlag     = flag.Int("parallelism", 0, "workers for the sharded DP build and ranked merge (0 = GOMAXPROCS, 1 = serial)")
 )
 
 func main() {
@@ -72,7 +73,11 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	if plan != nil {
-		fmt.Fprintf(summary, "plan: route=%s width=%d trees=%d\n", plan.Route, plan.Width, plan.Trees)
+		fmt.Fprintf(summary, "plan: route=%s width=%d trees=%d", plan.Route, plan.Width, plan.Trees)
+		if plan.Shards > 0 {
+			fmt.Fprintf(summary, " shards=%d parallelism=%d", plan.Shards, plan.Parallelism)
+		}
+		fmt.Fprintln(summary)
 		for i, b := range plan.Bags {
 			fmt.Fprintf(summary, "  bag %d (parent %d): vars=%s cover=%s assigned=%s\n",
 				i, b.Parent, strings.Join(b.Vars, ","), strings.Join(b.Cover, " "), strings.Join(b.Assigned, " "))
@@ -129,10 +134,11 @@ func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) 
 	default:
 		return nil, nil, nil, fmt.Errorf("unknown order %q", order)
 	}
-	it, err := engine.Enumerate[float64](db, q, d, alg)
+	it, err := engine.Enumerate[float64](db, q, d, alg, engine.Options{Parallelism: *parFlag})
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	defer it.Close()
 	return it.Drain(k), it.Vars, it.Plan, nil
 }
 

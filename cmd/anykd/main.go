@@ -31,6 +31,7 @@ var (
 	maxSessFlag  = flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond this)")
 	verboseFlag  = flag.Bool("v", false, "debug-level logging")
 	shutdownFlag = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline")
+	maxParFlag   = flag.Int("max-parallelism", 8, "per-session parallelism cap (requests above it are clamped)")
 )
 
 func main() {
@@ -51,6 +52,7 @@ func main() {
 	sessions := server.NewManager(ctx, *maxSessFlag, *ttlFlag)
 	defer sessions.Close()
 	srv := server.New(sessions, logger)
+	srv.MaxParallelism = *maxParFlag
 
 	httpSrv := &http.Server{
 		Addr:              *addrFlag,

@@ -35,6 +35,7 @@ var (
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (medians)")
 	seedFlag  = flag.Int64("seed", 42, "random seed")
 	jsonFlag  = flag.Bool("bench-json", false, "also write machine-readable results (TTF, totals, delay percentiles) to BENCH_results.json")
+	parFlag   = flag.Int("parallelism", 1, "workers for the sharded DP build and ranked merge (1 = the paper's serial algorithms; par1 sweeps this itself)")
 )
 
 // benchRecords accumulates every panel's series for -bench-json.
@@ -100,6 +101,7 @@ func panel(id, title string, q *query.CQ, db *relation.DB, k int) {
 		Checkpoints:  bench.Checkpoints(maxInt(k, 1)),
 		Reps:         *repsFlag,
 		RecordDelays: *jsonFlag,
+		Parallelism:  *parFlag,
 	}
 	if k <= 0 {
 		cfg.Checkpoints = nil
@@ -276,6 +278,56 @@ var experiments = []experiment{
 		db, n := bitcoinDB(5)
 		panel("ghd1b", fmt.Sprintf("Chordal square Bitcoin-like n=%d (top 10n)", n), chordalSquareQuery(), db, 10*n)
 	}},
+
+	{"par1", "fig10a workload at parallelism 1/2/4/8: sharded any-k speedup curves", par1},
+}
+
+// par1 sweeps the parallel layer over the fig10a workload (4-path, uniform,
+// all results): TT(last) per algorithm at parallelism 1, 2, 4 and 8, with the
+// speedup over the serial run. Series land in BENCH_results.json under
+// figure "par1" with a "/p=<P>" suffix so speedup curves can be diffed
+// across commits.
+func par1() {
+	db := dataset.Uniform(4, sc(1000), *seedFlag)
+	q := query.PathQuery(4)
+	algs := []core.Algorithm{core.Take2, core.Recursive, core.Lazy, core.Batch}
+	serial := map[string]float64{}
+	for _, p := range []int{1, 2, 4, 8} {
+		cfg := bench.Config{
+			Name:         fmt.Sprintf("par1: 4-Path synthetic (all results), parallelism %d", p),
+			Query:        q,
+			DB:           db,
+			Algorithms:   algs,
+			Reps:         *repsFlag,
+			RecordDelays: *jsonFlag,
+			Parallelism:  p,
+		}
+		series, err := bench.Run(cfg)
+		if err != nil {
+			fmt.Printf("par1: %v\n", err)
+			return
+		}
+		bench.Print(os.Stdout, cfg.Name, series)
+		fmt.Printf("%-12s %14s %12s\n", "algorithm", "TT(last)", "speedup")
+		for i := range series {
+			last := 0.0
+			if n := len(series[i].Points); n > 0 {
+				last = series[i].Points[n-1].Seconds
+			}
+			name := series[i].Algorithm
+			if p == 1 {
+				serial[name] = last
+			}
+			sp := 0.0
+			if base, ok := serial[name]; ok && last > 0 {
+				sp = base / last
+			}
+			fmt.Printf("%-12s %13.4fs %11.2fx\n", name, last, sp)
+			series[i].Algorithm = fmt.Sprintf("%s/p=%d", name, p)
+		}
+		fmt.Println()
+		record("par1", series)
+	}
 }
 
 // chordalSquareQuery is the ghd1b workload: a 4-cycle with one diagonal (two
@@ -433,7 +485,7 @@ func fig19() {
 		}
 		rjSecs := time.Since(startRJ).Seconds()
 		startAK := time.Now()
-		it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy)
+		it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy, engine.Options{Parallelism: 1})
 		if err != nil {
 			fmt.Println(err)
 			return

@@ -32,6 +32,7 @@ func main() {
 			log.Fatal(err)
 		}
 		rows := it.Drain(3)
+		it.Close()
 		fmt.Printf("\nlowest-trust %d-cycles (decomposed into %d trees) in %v:\n", l, it.Trees, time.Since(start))
 		if len(rows) == 0 {
 			fmt.Println("  no cycles in this graph")

@@ -52,6 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it.Close()
 	describePlan(triTail, it.Plan)
 	for rank, row := range it.Drain(3) {
 		fmt.Printf("  #%d  total=%v  a=%d b=%d c=%d d=%d\n",
@@ -68,6 +69,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it4.Close()
 	describePlan(k4, it4.Plan)
 	rows := it4.Drain(2)
 	if len(rows) == 0 {

@@ -43,6 +43,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer itMin.Close()
 	fmt.Println("min-weight semantics (each source once, by best route):")
 	for i, row := range itMin.Drain(5) {
 		fmt.Printf("  #%d  source=%v  best-route-cost=%.0f\n", i+1, row.Vals[0], row.Weight)
@@ -53,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer itAll.Close()
 	rows := itAll.Drain(5)
 	fmt.Println("all-weight semantics (one answer per witness):")
 	for i, row := range rows {

@@ -35,6 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it.Close()
 	fmt.Println("top-5 results of", q)
 	for rank, row := range it.Drain(5) {
 		fmt.Printf("  #%d  weight=%v  row=%v\n", rank+1, row.Weight, row.Vals)
@@ -42,6 +43,7 @@ func main() {
 
 	// 4. Any selective dioid works; (max,+) returns the heaviest first.
 	it2, _ := engine.Enumerate[float64](db, q, dioid.MaxPlus{}, core.Recursive)
+	defer it2.Close()
 	top, _ := it2.Next()
 	fmt.Printf("heaviest combination: %v (weight %v)\n", top.Vals, top.Weight)
 }

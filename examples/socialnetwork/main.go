@@ -35,6 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it.Close()
 	top := it.Drain(5)
 	fmt.Printf("top 5 influential 4-paths (of an enormous result space) in %v:\n", time.Since(start))
 	for i, row := range top {

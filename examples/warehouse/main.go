@@ -41,6 +41,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer it.Close()
 	fmt.Println("cheapest fact+dimensions combinations:")
 	for i, row := range it.Drain(3) {
 		fmt.Printf("  #%d  cost=%.2f  %v\n", i+1, row.Weight, row.Vals)
@@ -53,6 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer itLex.Close()
 	fmt.Println("lexicographically first combinations (fact weight dominates):")
 	for i, row := range itLex.Drain(3) {
 		fmt.Printf("  #%d  weights=%.2f  %v\n", i+1, row.Weight, row.Vals)
@@ -72,6 +74,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer itMul.Close()
 	top, _ := itMul.Next()
 	fmt.Printf("highest-multiplicity join result: %v appears %v times\n", top.Vals, top.Weight)
 }

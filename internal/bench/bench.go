@@ -57,6 +57,19 @@ type Config struct {
 	// RecordDelays captures a timestamp per result to compute the
 	// inter-result delay percentiles of Series (used by -bench-json).
 	RecordDelays bool
+	// Parallelism is passed to engine.Options.Parallelism. Unlike the
+	// engine's GOMAXPROCS default, 0 here means 1: benchmarks measure the
+	// serial algorithms of the paper unless a panel opts into sharding.
+	Parallelism int
+}
+
+// options resolves the engine options for a run.
+func (cfg Config) options() engine.Options {
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = 1
+	}
+	return engine.Options{Parallelism: p}
 }
 
 // Checkpoints returns a geometric 1-2-5 ladder up to k.
@@ -143,10 +156,11 @@ func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 	checkpoints := cfg.Checkpoints
 	k := cfg.K
 	start := time.Now()
-	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg)
+	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg, cfg.options())
 	if err != nil {
 		return oneRun{}, err
 	}
+	defer it.Close()
 	var r oneRun
 	ci := 0
 	prev := 0.0
@@ -298,10 +312,10 @@ func BatchFullTime(db *relation.DB, q *query.CQ, engineName string) (float64, in
 	return time.Since(start).Seconds(), n, nil
 }
 
-// TTFirst measures time-to-first-result for an any-k algorithm.
+// TTFirst measures time-to-first-result for an any-k algorithm (serial path).
 func TTFirst(db *relation.DB, q *query.CQ, alg core.Algorithm) (float64, error) {
 	start := time.Now()
-	it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg)
+	it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg, engine.Options{Parallelism: 1})
 	if err != nil {
 		return 0, err
 	}

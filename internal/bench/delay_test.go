@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dataset"
+	"anyk/internal/query"
+)
+
+// TestDelayGuaranteeRegression pins the paper's bounded inter-result delay
+// (Take2: O(log k); Recursive: amortized O(ℓ)) on a fig10a-scale workload:
+// the p99 inter-result delay must stay within a fixed factor of the median.
+// An algorithmic regression that trades the delay bound for throughput —
+// buffering batches of results, deferring choice-set work to a periodic
+// rebuild, draining eagerly and replaying — inflates the tail delays by
+// orders of magnitude relative to the median and trips this; the generous
+// factor plus an absolute floor keeps scheduler/GC noise from doing so.
+func TestDelayGuaranteeRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const (
+		factor    = 500
+		floorSecs = 25e-6
+		results   = 50_000
+		attempts  = 3
+	)
+	db := dataset.Uniform(4, 1000, 1)
+	q := query.PathQuery(4)
+	for _, alg := range []core.Algorithm{core.Take2, core.Recursive} {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			var lastP50, lastP99 float64
+			for attempt := 0; attempt < attempts; attempt++ {
+				series, err := Run(Config{
+					Name:         "delay-regression",
+					Query:        q,
+					DB:           db,
+					K:            results,
+					Algorithms:   []core.Algorithm{alg},
+					Reps:         1,
+					RecordDelays: true,
+					Parallelism:  1,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := series[0]
+				if s.Total < results {
+					t.Fatalf("produced %d results, want %d — workload no longer fig10-scale", s.Total, results)
+				}
+				lastP50, lastP99 = s.DelayP50, s.DelayP99
+				bound := factor * s.DelayP50
+				if fb := factor * floorSecs; bound < fb {
+					bound = fb
+				}
+				if s.DelayP99 <= bound {
+					return
+				}
+				// Retry: a loaded CI machine can blow one run's tail.
+			}
+			t.Fatalf("%s: p99 delay %.6fs exceeds %d× max(median %.6fs, floor %.6fs) in %d attempts",
+				alg, lastP99, factor, lastP50, floorSecs, attempts)
+		})
+	}
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"math/rand"
+	"sort"
 	"sync"
 	"testing"
 
 	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
 )
 
 // TestInterleavedEnumeratorsIndependent: several enumerators over one graph
@@ -41,6 +43,118 @@ func TestInterleavedEnumeratorsIndependent(t *testing.T) {
 			if outs[j][i].Weight != ref[i].Weight {
 				t.Fatalf("enumerator %d rank %d: %v want %v", j, i, outs[j][i].Weight, ref[i].Weight)
 			}
+		}
+	}
+}
+
+// shardFirstStage partitions the first stage's rows round-robin into s
+// shard input trees — the same rule the engine's parallel layer applies.
+func shardFirstStage(inputs []dpgraph.StageInput[float64], s int) [][]dpgraph.StageInput[float64] {
+	out := make([][]dpgraph.StageInput[float64], s)
+	for k := range out {
+		cp := append([]dpgraph.StageInput[float64](nil), inputs...)
+		var rows [][]dpgraph.Value
+		var ws []float64
+		for r := k; r < len(inputs[0].Rows); r += s {
+			rows = append(rows, inputs[0].Rows[r])
+			ws = append(ws, inputs[0].Weights[r])
+		}
+		cp[0].Rows, cp[0].Weights = rows, ws
+		out[k] = cp
+	}
+	return out
+}
+
+// TestConcurrentNextOnParallelMerge hammers one merged parallel iterator
+// from many goroutines: Next must be linearizable — every row of the stream
+// delivered exactly once, and each caller's own receive sequence
+// non-decreasing (a subsequence of the globally ranked stream).
+func TestConcurrentNextOnParallelMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	inputs := randomInputs(r, 4, 24, 3)
+	ref := drain(New[float64](buildGraph(t, dioid.Tropical{}, inputs), Batch), 1<<30)
+	if len(ref) == 0 {
+		t.Skip("empty instance")
+	}
+	const shards, consumers = 4, 8
+	iters := make([]RowIter[float64], 0, shards)
+	for i, sh := range shardFirstStage(inputs, shards) {
+		g := buildGraph(t, dioid.Tropical{}, sh)
+		if g.Empty() {
+			continue
+		}
+		iters = append(iters, NewGraphIter[float64](g, New[float64](g, Take2), i))
+	}
+	m := NewParallelMerge[float64](dioid.Tropical{}, iters)
+	defer m.Close()
+	var wg sync.WaitGroup
+	got := make([][]Row[float64], consumers)
+	for c := 0; c < consumers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				row, ok := m.Next()
+				if !ok {
+					return
+				}
+				got[c] = append(got[c], row)
+			}
+		}()
+	}
+	wg.Wait()
+	var all []float64
+	for c := range got {
+		for i, row := range got[c] {
+			if i > 0 && row.Weight < got[c][i-1].Weight {
+				t.Fatalf("consumer %d: weight %v after %v — per-caller sequence must be non-decreasing", c, row.Weight, got[c][i-1].Weight)
+			}
+			all = append(all, row.Weight)
+		}
+	}
+	if len(all) != len(ref) {
+		t.Fatalf("consumers received %d rows, want %d", len(all), len(ref))
+	}
+	sort.Float64s(all)
+	for i := range ref {
+		if all[i] != ref[i].Weight {
+			t.Fatalf("rank %d: merged multiset has %v, Batch reference %v", i, all[i], ref[i].Weight)
+		}
+	}
+}
+
+// TestParallelMergeCloseReleasesProducers: closing an abandoned merge midway
+// must terminate the shard producers (their channels close) and make further
+// Next calls return false.
+func TestParallelMergeCloseReleasesProducers(t *testing.T) {
+	r := rand.New(rand.NewSource(304))
+	inputs := randomInputs(r, 4, 30, 2) // dense: plenty of rows per shard
+	iters := make([]RowIter[float64], 0, 4)
+	for i, sh := range shardFirstStage(inputs, 4) {
+		g := buildGraph(t, dioid.Tropical{}, sh)
+		if g.Empty() {
+			continue
+		}
+		iters = append(iters, NewGraphIter[float64](g, New[float64](g, Take2), i))
+	}
+	if len(iters) == 0 {
+		t.Skip("empty instance")
+	}
+	m := NewParallelMerge[float64](dioid.Tropical{}, iters)
+	if _, ok := m.Next(); !ok {
+		t.Skip("no rows")
+	}
+	m.Close()
+	m.Close() // idempotent
+	if _, ok := m.Next(); ok {
+		t.Fatal("Next returned a row after Close")
+	}
+	// The producers must wind down: their channels close once the stop
+	// signal is observed, which the race job would flag as a leak via
+	// never-finishing goroutines if broken.
+	for _, src := range m.sources {
+		for range src.ch {
 		}
 	}
 }

@@ -1,0 +1,24 @@
+package core
+
+import "testing"
+
+// FuzzParseAlgorithm: arbitrary wire-level algorithm names (the HTTP service
+// passes client strings straight in) must resolve case-insensitively or
+// error; a resolved algorithm must round-trip through String.
+func FuzzParseAlgorithm(f *testing.F) {
+	f.Add("Take2")
+	f.Add("take2")
+	f.Add("RECURSIVE")
+	f.Add("Batch(NoSort)")
+	f.Add("")
+	f.Add("Algorithm(99)")
+	f.Fuzz(func(t *testing.T, name string) {
+		a, err := ParseAlgorithm(name)
+		if err != nil {
+			return
+		}
+		if back, err2 := ParseAlgorithm(a.String()); err2 != nil || back != a {
+			t.Fatalf("ParseAlgorithm(%q) = %v, but round-trip gives %v (%v)", name, a, back, err2)
+		}
+	})
+}

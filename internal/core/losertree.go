@@ -1,0 +1,55 @@
+package core
+
+// loserTree is a tournament tree over k ranked sources for multi-way merge:
+// the winner (index of the best source) sits at the root and replaying a
+// single leaf-to-root path after the winner's head advances costs exactly
+// ⌈log2 k⌉ comparisons — the classic K-way merge structure, cheaper per pop
+// than a binary heap's up-to-2·log2 k comparisons. Sources are compared by
+// the caller-supplied less; an exhausted source must compare as worse than
+// every live one so it sinks and stays out of the winner slot.
+type loserTree struct {
+	k      int
+	winner int32
+	// node[1..k-1] are the internal tournament nodes, each holding the LOSER
+	// of the match played there; leaves k..2k-1 map to source i at node k+i.
+	node []int32
+	less func(a, b int32) bool
+}
+
+// newLoserTree builds the tournament over sources 0..k-1 in O(k).
+func newLoserTree(k int, less func(a, b int32) bool) *loserTree {
+	t := &loserTree{k: k, node: make([]int32, k), less: less}
+	if k == 1 {
+		t.winner = 0
+		return t
+	}
+	var build func(n int) int32
+	build = func(n int) int32 {
+		if n >= k {
+			return int32(n - k)
+		}
+		a, b := build(2*n), build(2*n+1)
+		if t.less(b, a) {
+			a, b = b, a
+		}
+		t.node[n] = b // loser stays, winner moves up
+		return a
+	}
+	t.winner = build(1)
+	return t
+}
+
+// Winner returns the source holding the globally best head.
+func (t *loserTree) Winner() int32 { return t.winner }
+
+// Fix replays the winner's path after its head changed (advanced or
+// exhausted), restoring the tournament invariant.
+func (t *loserTree) Fix() {
+	w := t.winner
+	for n := (int(w) + t.k) / 2; n >= 1; n /= 2 {
+		if t.less(t.node[n], w) {
+			w, t.node[n] = t.node[n], w
+		}
+	}
+	t.winner = w
+}

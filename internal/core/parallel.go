@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"anyk/internal/dioid"
+)
+
+// mergeBlockMax caps the row blocks producers ship to the merge. Blocks start
+// at 1 row — so the first result crosses the channel as soon as it exists and
+// TTF stays near the serial bound — and double per send up to this cap, which
+// amortizes channel synchronization to ~1/256 per row in steady state.
+const mergeBlockMax = 256
+
+// mergeChanCap is the per-source block buffer: enough for producers to run
+// ahead of a slow consumer without unbounded memory.
+const mergeChanCap = 4
+
+// mergeSource is one shard's stream state inside the merge: a channel of row
+// blocks fed by the producer goroutine, plus the consumer-side cursor.
+type mergeSource[W any] struct {
+	ch   chan []Row[W]
+	cur  []Row[W]
+	pos  int
+	done bool
+}
+
+// head returns the source's current first undelivered row.
+func (s *mergeSource[W]) head() *Row[W] { return &s.cur[s.pos] }
+
+// refill advances to the next block, marking the source done when its
+// producer has closed the channel.
+func (s *mergeSource[W]) refill() {
+	b, ok := <-s.ch
+	if !ok {
+		s.cur, s.pos, s.done = nil, 0, true
+		return
+	}
+	s.cur, s.pos = b, 0
+}
+
+// ParallelMerge merges the ranked streams of several shard enumerators into
+// one globally ranked stream. Each input iterator is drained by its own
+// goroutine into blocks, so candidate expansion and row assembly run
+// concurrently across shards while the consumer pays only a loser-tree replay
+// (⌈log2 S⌉ comparisons) per row. Ties in weight break on source index, so
+// the merged sequence is deterministic for a fixed shard layout.
+//
+// Next is safe for concurrent use (calls serialize on an internal mutex and
+// each returns a distinct row of the stream). Close releases the producer
+// goroutines; it must be called when the stream is abandoned before
+// exhaustion and is idempotent. A fully drained merge shuts its producers
+// down by itself.
+type ParallelMerge[W any] struct {
+	d       dioid.Dioid[W]
+	sources []*mergeSource[W]
+
+	mu     sync.Mutex
+	lt     *loserTree
+	inited bool
+
+	closed   atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewParallelMerge starts one producer goroutine per input iterator and
+// returns the merged ranked stream. The iterators must not be used by the
+// caller afterwards.
+func NewParallelMerge[W any](d dioid.Dioid[W], iters []RowIter[W]) *ParallelMerge[W] {
+	m := &ParallelMerge[W]{d: d, stop: make(chan struct{})}
+	m.sources = make([]*mergeSource[W], len(iters))
+	for i, it := range iters {
+		src := &mergeSource[W]{ch: make(chan []Row[W], mergeChanCap)}
+		m.sources[i] = src
+		go m.produce(src, it)
+	}
+	return m
+}
+
+// produce drains it into src.ch in geometrically growing blocks, bailing out
+// when the merge is closed.
+func (m *ParallelMerge[W]) produce(src *mergeSource[W], it RowIter[W]) {
+	defer close(src.ch)
+	size := 1
+	block := make([]Row[W], 0, size)
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		block = append(block, r)
+		if len(block) >= size {
+			select {
+			case src.ch <- block:
+			case <-m.stop:
+				return
+			}
+			if size < mergeBlockMax {
+				size *= 2
+			}
+			block = make([]Row[W], 0, size)
+		}
+	}
+	if len(block) > 0 {
+		select {
+		case src.ch <- block:
+		case <-m.stop:
+		}
+	}
+}
+
+// srcLess orders sources by their current head: exhausted sources sink, ties
+// in weight break toward the lower source index.
+func (m *ParallelMerge[W]) srcLess(a, b int32) bool {
+	sa, sb := m.sources[a], m.sources[b]
+	if sa.done {
+		return false
+	}
+	if sb.done {
+		return true
+	}
+	if m.d.Less(sa.head().Weight, sb.head().Weight) {
+		return true
+	}
+	if m.d.Less(sb.head().Weight, sa.head().Weight) {
+		return false
+	}
+	return a < b
+}
+
+// Next returns the next row of the merged ranked stream.
+func (m *ParallelMerge[W]) Next() (Row[W], bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed.Load() || len(m.sources) == 0 {
+		return Row[W]{}, false
+	}
+	if !m.inited {
+		// The tournament needs every source's head; first blocks are a single
+		// row, so this waits only for each shard's first result.
+		for _, src := range m.sources {
+			src.refill()
+		}
+		m.lt = newLoserTree(len(m.sources), m.srcLess)
+		m.inited = true
+	}
+	src := m.sources[m.lt.Winner()]
+	if src.done {
+		m.close() // every source exhausted: release any producer still parked
+		return Row[W]{}, false
+	}
+	r := *src.head()
+	src.pos++
+	if src.pos == len(src.cur) {
+		src.refill()
+	}
+	m.lt.Fix()
+	return r, true
+}
+
+// Close stops the producer goroutines and makes subsequent Next calls return
+// false. Safe to call concurrently with Next and more than once.
+func (m *ParallelMerge[W]) Close() {
+	m.closed.Store(true)
+	m.close()
+}
+
+func (m *ParallelMerge[W]) close() {
+	m.stopOnce.Do(func() { close(m.stop) })
+}

@@ -229,54 +229,10 @@ func (g *Graph[W]) buildOutput(outVars []string) {
 // pruned branches into EffWeight, and shrinks every group to its alive
 // members with their costs and minimum. After BottomUp the graph is ready
 // for any enumerator. It returns the weight of the overall best solution
-// (Zero when the query output is empty).
+// (Zero when the query output is empty). BottomUpP spreads the same pass
+// over a worker pool.
 func (g *Graph[W]) BottomUp() W {
-	d := g.D
-	zero := d.Zero()
-	for idx := len(g.Stages) - 1; idx >= 0; idx-- {
-		st := g.Stages[idx]
-		for s := range st.States {
-			state := &st.States[s]
-			opt := state.Weight
-			eff := state.Weight
-			for b, cs := range st.ChildStages {
-				child := g.Stages[cs]
-				m := zero
-				if gi := state.Groups[b]; gi >= 0 {
-					m = child.Groups[gi].Min
-				}
-				opt = d.Times(opt, m)
-				if child.Pruned {
-					eff = d.Times(eff, m)
-				}
-			}
-			state.Opt = opt
-			state.EffWeight = eff
-		}
-		if idx == 0 {
-			break
-		}
-		for gi := range st.Groups {
-			grp := &st.Groups[gi]
-			grp.Members = grp.Members[:0]
-			grp.Costs = grp.Costs[:0]
-			grp.Min = zero
-			grp.MinIdx = -1
-			for _, m := range grp.all {
-				c := st.States[m].Opt
-				if !d.Less(c, zero) {
-					continue // dead state
-				}
-				grp.Members = append(grp.Members, m)
-				grp.Costs = append(grp.Costs, c)
-				if grp.MinIdx < 0 || d.Less(c, grp.Min) {
-					grp.Min = c
-					grp.MinIdx = int32(len(grp.Members) - 1)
-				}
-			}
-		}
-	}
-	return g.Stages[0].States[0].Opt
+	return g.BottomUpP(1)
 }
 
 // Empty reports whether the query output is empty (only valid after

@@ -17,6 +17,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"anyk/internal/core"
 	"anyk/internal/decomp"
@@ -47,6 +48,23 @@ type Options struct {
 	// decompositions; the built-in cycle decomposition is disjoint and does
 	// not need it).
 	Dedup bool
+	// Parallelism is the worker count for the bottom-up DP phase and the
+	// shard count for enumeration: each T-DP tree's first unpruned choice set
+	// is partitioned into up to Parallelism shards whose ranked streams merge
+	// through a loser tree that preserves the global weight order. 0 (the
+	// zero value) means GOMAXPROCS; 1 selects the fully serial path with no
+	// extra goroutines. Iterators built with Parallelism > 1 hold producer
+	// goroutines — call Iterator.Close when abandoning them before
+	// exhaustion.
+	Parallelism int
+}
+
+// parallelism resolves the effective worker count.
+func (o Options) parallelism() int {
+	if o.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Parallelism
 }
 
 // PlanInfo reports how Enumerate routed a query: the decomposition route,
@@ -61,6 +79,12 @@ type PlanInfo struct {
 	Width int `json:"width"`
 	// Trees is the number of T-DP problems in the union.
 	Trees int `json:"trees"`
+	// Shards is the number of independent ranked shard streams feeding the
+	// loser-tree merge (0 when the serial path ran).
+	Shards int `json:"shards,omitempty"`
+	// Parallelism is the resolved worker count the parallel layer ran with
+	// (0 when the serial path ran).
+	Parallelism int `json:"parallelism,omitempty"`
 	// Bags describes the GHD join tree (nil on the other routes).
 	Bags []BagInfo `json:"bags,omitempty"`
 }
@@ -82,12 +106,25 @@ type Iterator[W any] struct {
 	// Trees reports how many T-DP problems the query decomposed into
 	// (1 for acyclic queries, ℓ+1 for ℓ-cycles).
 	Trees int
+	// Shards is the number of independent ranked streams the parallel layer
+	// merges (0 on the serial path).
+	Shards int
 	// Plan describes the chosen decomposition route.
-	Plan *PlanInfo
+	Plan   *PlanInfo
+	closer func()
 }
 
 // Next returns the next row in rank order.
 func (it *Iterator[W]) Next() (core.Row[W], bool) { return it.it.Next() }
+
+// Close releases the producer goroutines of a parallel iterator. It is
+// required when abandoning a Parallelism > 1 stream before exhaustion, a
+// no-op otherwise, and idempotent.
+func (it *Iterator[W]) Close() {
+	if it.closer != nil {
+		it.closer()
+	}
+}
 
 // Drain collects up to k rows (k ≤ 0 drains everything).
 func (it *Iterator[W]) Drain(k int) []core.Row[W] {
@@ -133,7 +170,7 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	if err != nil {
 		return nil, err
 	}
-	it.Plan = &PlanInfo{Route: "simple-cycle", Width: 2, Trees: it.Trees}
+	it.Plan = annotateParallel(&PlanInfo{Route: "simple-cycle", Width: 2, Trees: it.Trees}, it, opt)
 	return it, nil
 }
 
@@ -154,7 +191,7 @@ func enumerateGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg cor
 	if err != nil {
 		return nil, fmt.Errorf("cyclic query %s: GHD plan (width %d, %d bags) did not lower: %w", q.Name, plan.Width, len(plan.Bags), err)
 	}
-	it.Plan = ghdPlanInfo(plan, it.Trees)
+	it.Plan = annotateParallel(ghdPlanInfo(plan, it.Trees), it, opt)
 	return it, nil
 }
 
@@ -175,8 +212,14 @@ func ghdPlanInfo(plan *hypertree.Plan, trees int) *PlanInfo {
 
 // EnumerateUnion runs the UT-DP framework (Section 5.2) over an arbitrary
 // union of T-DP stage-input trees — the hook for plugging in any
-// decomposition, as the paper's framework promises.
+// decomposition, as the paper's framework promises. With an effective
+// parallelism above 1 each tree is additionally sharded and the union runs
+// through the parallel loser-tree merge, so every decomposition — including
+// the GHD route — parallelizes through this single seam.
 func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, alg core.Algorithm, opt Options) (*Iterator[W], error) {
+	if p := opt.parallelism(); p > 1 {
+		return enumerateParallel[W](d, trees, outVars, alg, opt, p)
+	}
 	iters := make([]core.RowIter[W], 0, len(trees))
 	for i, inputs := range trees {
 		g, err := dpgraph.Build[W](d, inputs, outVars)
@@ -204,6 +247,15 @@ func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], ou
 	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees)}, nil
 }
 
+// annotateParallel records the parallel layout on a plan.
+func annotateParallel[W any](plan *PlanInfo, it *Iterator[W], opt Options) *PlanInfo {
+	if it.Shards > 0 {
+		plan.Shards = it.Shards
+		plan.Parallelism = opt.parallelism()
+	}
+	return plan
+}
+
 func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt Options) (*Iterator[W], error) {
 	var plan *query.Plan
 	var err error
@@ -220,17 +272,12 @@ func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg
 	if err != nil {
 		return nil, err
 	}
-	outVars := q.FreeVars()
-	g, err := dpgraph.Build[W](d, inputs, outVars)
+	it, err := EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.FreeVars(), alg, opt)
 	if err != nil {
 		return nil, err
 	}
-	g.BottomUp()
-	var it core.RowIter[W] = core.NewGraphIter[W](g, core.New[W](g, alg), 0)
-	if opt.Dedup {
-		it = core.NewDedup[W](it)
-	}
-	return &Iterator[W]{Vars: outVars, it: it, Trees: 1, Plan: &PlanInfo{Route: "acyclic", Width: 1, Trees: 1}}, nil
+	it.Plan = annotateParallel(&PlanInfo{Route: "acyclic", Width: 1, Trees: 1}, it, opt)
+	return it, nil
 }
 
 // stageInputs materializes the plan's nodes: full nodes carry the relation's
@@ -343,6 +390,7 @@ func BooleanQuery(db *relation.DB, q *query.CQ) (bool, error) {
 	if err != nil {
 		return false, err
 	}
+	defer it.Close()
 	_, ok := it.Next()
 	return ok, nil
 }

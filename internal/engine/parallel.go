@@ -1,0 +1,126 @@
+package engine
+
+// Parallel execution layer: the bottom-up DP phase of every T-DP tree runs
+// across a worker pool, and enumeration is sharded — the first unpruned
+// stage's choice set is partitioned round-robin into S independent T-DP
+// problems whose ranked streams are merged by a loser tree that preserves the
+// global weight order (see DESIGN.md for the partitioning and tie-break
+// arguments). Because every solution selects exactly one state of that stage,
+// the shards partition the solution space and the merged stream is exactly
+// the serial one up to deterministic tie resolution.
+
+import (
+	"fmt"
+	"sync"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/dpgraph"
+)
+
+// shardStage picks the stage whose choice set is partitioned: the first
+// unpruned input with at least two rows (pruned stages cannot be sharded —
+// they contribute branch minima, not solution states). Returns -1 when no
+// stage qualifies.
+func shardStage[W any](inputs []dpgraph.StageInput[W]) int {
+	for i, in := range inputs {
+		if !in.Prune && len(in.Rows) >= 2 {
+			return i
+		}
+	}
+	return -1
+}
+
+// shardInputs splits one tree into at most s trees by round-robin
+// partitioning the shard stage's rows; every other stage is shared. The
+// round-robin rule keeps shards balanced regardless of any ordering of the
+// input rows. Returns the original tree alone when sharding does not apply.
+func shardInputs[W any](inputs []dpgraph.StageInput[W], s int) [][]dpgraph.StageInput[W] {
+	si := shardStage(inputs)
+	if s < 2 || si < 0 {
+		return [][]dpgraph.StageInput[W]{inputs}
+	}
+	if n := len(inputs[si].Rows); s > n {
+		s = n
+	}
+	out := make([][]dpgraph.StageInput[W], s)
+	for k := range out {
+		cp := append([]dpgraph.StageInput[W](nil), inputs...)
+		var rows [][]dpgraph.Value
+		var ws []W
+		for r := k; r < len(inputs[si].Rows); r += s {
+			rows = append(rows, inputs[si].Rows[r])
+			ws = append(ws, inputs[si].Weights[r])
+		}
+		cp[si].Rows, cp[si].Weights = rows, ws
+		out[k] = cp
+	}
+	return out
+}
+
+// enumerateParallel is EnumerateUnion's parallelism > 1 path: shard every
+// tree, build and bottom-up all shard graphs across a worker pool, and merge
+// the per-shard ranked streams.
+func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, alg core.Algorithm, opt Options, p int) (*Iterator[W], error) {
+	type shard struct {
+		inputs []dpgraph.StageInput[W]
+		tree   int
+	}
+	var shards []shard
+	for ti, inputs := range trees {
+		for _, sh := range shardInputs(inputs, p) {
+			shards = append(shards, shard{sh, ti})
+		}
+	}
+	if len(shards) == 0 { // no trees at all
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: 0}, nil
+	}
+	// Build + DP pass per shard, at most p at a time. When sharding
+	// degenerated (fewer shards than workers), the spare workers go into the
+	// per-stage DP parallelism instead.
+	workersPer := p / len(shards)
+	if workersPer < 1 {
+		workersPer = 1
+	}
+	graphs := make([]*dpgraph.Graph[W], len(shards))
+	errs := make([]error, len(shards))
+	sem := make(chan struct{}, p)
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g, err := dpgraph.Build[W](d, shards[i].inputs, outVars)
+			if err != nil {
+				errs[i] = fmt.Errorf("tree %d: %w", shards[i].tree, err)
+				return
+			}
+			g.BottomUpP(workersPer)
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	iters := make([]core.RowIter[W], 0, len(shards))
+	for i, g := range graphs {
+		if g.Empty() {
+			continue
+		}
+		iters = append(iters, core.NewGraphIter[W](g, core.New[W](g, alg), shards[i].tree))
+	}
+	if len(iters) == 0 {
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: len(trees)}, nil
+	}
+	m := core.NewParallelMerge[W](d, iters)
+	var it core.RowIter[W] = m
+	if opt.Dedup {
+		it = core.NewDedup[W](it)
+	}
+	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), Shards: len(iters), closer: m.Close}, nil
+}

@@ -1,14 +1,16 @@
 package hypertree_test
 
-// Property test for planner correctness (the paper's UT-DP contract): for
+// Property tests for planner correctness (the paper's UT-DP contract): for
 // random cyclic full CQs, enumerating over the GHD plan must return exactly
 // the rows of the worst-case-optimal batch join, in non-decreasing rank
 // order, under both a scalar (tropical) and a structured (lexicographic)
-// dioid.
+// dioid. Stream comparisons run through the internal/testkit comparators,
+// and the cross-algorithm/parallelism matrix through its differential
+// harness, so the GHD route is pinned by the same machinery as the rest of
+// the engine.
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 
@@ -20,6 +22,7 @@ import (
 	"anyk/internal/join"
 	"anyk/internal/query"
 	"anyk/internal/relation"
+	"anyk/internal/testkit"
 )
 
 // randomCyclicCQ generates a connected cyclic full CQ of binary atoms over a
@@ -53,18 +56,6 @@ func randomCyclicCQ(r *rand.Rand) *query.CQ {
 	}
 }
 
-func randomDB(r *rand.Rand, q *query.CQ, rows, dom int) *relation.DB {
-	db := relation.NewDB()
-	for _, a := range q.Atoms {
-		rel := relation.New(a.Rel, "A1", "A2")
-		for k := 0; k < rows; k++ {
-			rel.Add(float64(r.Intn(50)), int64(r.Intn(dom)), int64(r.Intn(dom)))
-		}
-		db.AddRelation(rel)
-	}
-	return db
-}
-
 // enumerateGHD runs the full planner pipeline under dioid d.
 func enumerateGHD[W any](t *testing.T, d dioid.Dioid[W], db *relation.DB, q *query.CQ) []core.Row[W] {
 	t.Helper()
@@ -76,46 +67,41 @@ func enumerateGHD[W any](t *testing.T, d dioid.Dioid[W], db *relation.DB, q *que
 	if err != nil {
 		t.Fatalf("%s: materialize: %v", q, err)
 	}
-	it, err := engine.EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.Vars(), core.Take2, engine.Options{})
+	it, err := engine.EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.Vars(), core.Take2, engine.Options{Parallelism: 1})
 	if err != nil {
 		t.Fatalf("%s: enumerate: %v", q, err)
 	}
+	defer it.Close()
 	return it.Drain(0)
 }
 
-func rowKey(vals []relation.Value, w float64) string {
-	return fmt.Sprintf("%v|%.6f", vals, w)
+// genericJoinKeys formats the batch join reference for multiset comparison.
+func genericJoinKeys(t *testing.T, db *relation.DB, q *query.CQ) []string {
+	t.Helper()
+	want, err := join.GenericJoin(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(want))
+	for i, w := range want {
+		keys[i] = testkit.Key(w.Vals, w.Weight)
+	}
+	return keys
 }
 
 func TestGHDMatchesGenericJoinTropical(t *testing.T) {
 	r := rand.New(rand.NewSource(99))
 	for trial := 0; trial < 30; trial++ {
 		q := randomCyclicCQ(r)
-		db := randomDB(r, q, 4+r.Intn(10), 2+r.Intn(3))
-		want, err := join.GenericJoin(db, q)
-		if err != nil {
-			t.Fatal(err)
-		}
+		db := testkit.RandomDB(r, q, 4+r.Intn(10), 2+r.Intn(3))
+		label := fmt.Sprintf("trial %d %s", trial, q)
 		got := enumerateGHD[float64](t, dioid.Tropical{}, db, q)
-		if len(got) != len(want) {
-			t.Fatalf("trial %d %s: %d rows, want %d", trial, q, len(got), len(want))
-		}
-		wantSet := map[string]int{}
-		for _, w := range want {
-			wantSet[rowKey(w.Vals, w.Weight)]++
-		}
-		prev := math.Inf(-1)
+		testkit.Ranked(t, label, dioid.Tropical{}, got)
+		keys := make([]string, len(got))
 		for i, g := range got {
-			if g.Weight < prev {
-				t.Fatalf("trial %d %s: rank %d weight %v < previous %v", trial, q, i, g.Weight, prev)
-			}
-			prev = g.Weight
-			k := rowKey(g.Vals, g.Weight)
-			if wantSet[k] == 0 {
-				t.Fatalf("trial %d %s: unexpected row %s", trial, q, k)
-			}
-			wantSet[k]--
+			keys[i] = testkit.Key(g.Vals, g.Weight)
 		}
+		testkit.SameRows(t, label, keys, genericJoinKeys(t, db, q))
 	}
 }
 
@@ -123,37 +109,36 @@ func TestGHDMatchesGenericJoinLex(t *testing.T) {
 	r := rand.New(rand.NewSource(171))
 	for trial := 0; trial < 20; trial++ {
 		q := randomCyclicCQ(r)
-		db := randomDB(r, q, 4+r.Intn(8), 2+r.Intn(3))
-		want, err := join.GenericJoin(db, q)
-		if err != nil {
-			t.Fatal(err)
-		}
+		db := testkit.RandomDB(r, q, 4+r.Intn(8), 2+r.Intn(3))
 		d := dioid.NewLex(len(q.Atoms))
+		label := fmt.Sprintf("trial %d %s", trial, q)
 		got := enumerateGHD[dioid.Vec](t, d, db, q)
-		if len(got) != len(want) {
-			t.Fatalf("trial %d %s: %d rows, want %d", trial, q, len(got), len(want))
-		}
-		// The row multiset must match, with each lex vector summing to the
-		// batch join's scalar weight; ranks must be lexicographically
-		// non-decreasing.
-		wantSet := map[string]int{}
-		for _, w := range want {
-			wantSet[rowKey(w.Vals, w.Weight)]++
-		}
+		// Ranks must be lexicographically non-decreasing, and the row
+		// multiset must match the batch join with each lex vector summing to
+		// the join's scalar weight.
+		testkit.Ranked(t, label, d, got)
+		keys := make([]string, len(got))
 		for i, g := range got {
-			if i > 0 && d.Less(g.Weight, got[i-1].Weight) {
-				t.Fatalf("trial %d %s: rank %d out of lexicographic order", trial, q, i)
-			}
 			sum := 0.0
 			for _, x := range g.Weight {
 				sum += x
 			}
-			k := rowKey(g.Vals, sum)
-			if wantSet[k] == 0 {
-				t.Fatalf("trial %d %s: unexpected row %s", trial, q, k)
-			}
-			wantSet[k]--
+			keys[i] = testkit.Key(g.Vals, sum)
 		}
+		testkit.SameRows(t, label, keys, genericJoinKeys(t, db, q))
+	}
+}
+
+// TestGHDDifferentialAllAlgorithms pins the planner route against the Batch
+// reference across the full algorithm × parallelism matrix of the
+// differential harness — the GHD bags, the sharded parallel layer and every
+// enumerator must agree on the exact ranked stream.
+func TestGHDDifferentialAllAlgorithms(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	for trial := 0; trial < 6; trial++ {
+		q := randomCyclicCQ(r)
+		db := testkit.RandomDB(r, q, 4+r.Intn(8), 2+r.Intn(3))
+		testkit.Diff(t, db, q, dioid.Tropical{}, 1, 4)
 	}
 }
 
@@ -180,6 +165,41 @@ func TestGHDDeterministicTiedOrder(t *testing.T) {
 		for i := range again {
 			if fmt.Sprint(again[i].Vals) != fmt.Sprint(first[i].Vals) {
 				t.Fatalf("run %d rank %d: %v vs %v (tied order not deterministic)", run, i, again[i].Vals, first[i].Vals)
+			}
+		}
+	}
+}
+
+// TestGHDParallelDeterministicTiedOrder is the same determinism pin for the
+// parallel path: for a fixed shard layout the loser-tree merge breaks weight
+// ties by shard index, so repeated runs must agree row-for-row even when
+// every weight ties.
+func TestGHDParallelDeterministicTiedOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	q := randomCyclicCQ(r)
+	db := relation.NewDB()
+	for _, a := range q.Atoms {
+		rel := relation.New(a.Rel, "A1", "A2")
+		for k := 0; k < 12; k++ {
+			rel.Add(1, int64(r.Intn(3)), int64(r.Intn(3)))
+		}
+		db.AddRelation(rel)
+	}
+	collect := func() []core.Row[float64] {
+		return testkit.Collect(t, db, q, dioid.Tropical{}, core.Take2, 4)
+	}
+	first := collect()
+	if len(first) == 0 {
+		t.Skip("empty instance")
+	}
+	for run := 0; run < 3; run++ {
+		again := collect()
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d rows vs %d", run, len(again), len(first))
+		}
+		for i := range again {
+			if fmt.Sprint(again[i].Vals) != fmt.Sprint(first[i].Vals) {
+				t.Fatalf("run %d rank %d: %v vs %v (parallel tied order not deterministic)", run, i, again[i].Vals, first[i].Vals)
 			}
 		}
 	}

@@ -1,0 +1,37 @@
+package query
+
+import "testing"
+
+// FuzzParseFamily hammers the family-name resolver shared by the CLI and the
+// HTTP service: arbitrary names must either resolve to a well-formed query or
+// return an error — never panic, and never build a query with a non-positive
+// size or no atoms.
+func FuzzParseFamily(f *testing.F) {
+	f.Add("path4")
+	f.Add("star3")
+	f.Add("cycle6")
+	f.Add("cartesian2")
+	f.Add("clique4")
+	f.Add("path-1")
+	f.Add("path999999999999999999999")
+	f.Add("clique0")
+	f.Add("")
+	f.Add("pathpath4")
+	f.Fuzz(func(t *testing.T, name string) {
+		q, err := ParseFamily(name)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatalf("ParseFamily(%q): nil query without error", name)
+		}
+		if len(q.Atoms) == 0 {
+			t.Fatalf("ParseFamily(%q): query with no atoms", name)
+		}
+		for _, a := range q.Atoms {
+			if len(a.Vars) == 0 {
+				t.Fatalf("ParseFamily(%q): atom %s with no variables", name, a.Rel)
+			}
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package relation
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadCSVAuto feeds arbitrary bytes through the schema-inferring CSV
+// loader — the HTTP upload path. Malformed uploads must come back as errors,
+// never as panics (this extends the TryAdd arity hardening: a client body is
+// attacker-controlled input). A successful parse must yield a relation whose
+// row count and arity are consistent.
+func FuzzLoadCSVAuto(f *testing.F) {
+	f.Add([]byte("1,2,3.5\n"))
+	f.Add([]byte("# comment\n\n1 2 3\n4 5 6\n"))
+	f.Add([]byte("1,2\n1,2,3\n"))          // arity drift
+	f.Add([]byte("9223372036854775808,1")) // int64 overflow
+	f.Add([]byte("1,NaN\n"))
+	f.Add([]byte(",,,\n"))
+	f.Add([]byte("1,2,"))
+	f.Add([]byte("#\xff\xfe\n1,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rel, err := LoadCSVAuto(bytes.NewReader(data), "F")
+		if err != nil {
+			return
+		}
+		if rel == nil {
+			t.Fatal("nil relation without error")
+		}
+		if len(rel.Rows) != len(rel.Weights) {
+			t.Fatalf("%d rows but %d weights", len(rel.Rows), len(rel.Weights))
+		}
+		for i, row := range rel.Rows {
+			if len(row) != len(rel.Attrs) {
+				t.Fatalf("row %d has %d values, schema has %d attrs", i, len(row), len(rel.Attrs))
+			}
+		}
+	})
+}

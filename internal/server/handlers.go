@@ -41,6 +41,12 @@ const maxPageK = 100_000
 // maxUploadBytes caps CSV upload bodies.
 const maxUploadBytes = 256 << 20
 
+// defaultMaxParallelism is the per-session parallelism cap when the Server
+// does not set one: high enough for a single heavy session to use a modern
+// machine, low enough that a handful of concurrent sessions cannot pile up
+// unbounded goroutines.
+const defaultMaxParallelism = 8
+
 // Metrics counts server activity; all fields are atomics so handlers update
 // them lock-free.
 type Metrics struct {
@@ -58,6 +64,18 @@ type Server struct {
 	Sessions *Manager
 	Log      *slog.Logger
 	Metrics  Metrics
+	// MaxParallelism caps the per-session parallelism clients may request
+	// (requests above it are clamped, not rejected). 0 uses
+	// defaultMaxParallelism; set before serving.
+	MaxParallelism int
+}
+
+// maxParallelism resolves the per-session cap.
+func (s *Server) maxParallelism() int {
+	if s.MaxParallelism > 0 {
+		return s.MaxParallelism
+	}
+	return defaultMaxParallelism
 }
 
 // New returns a Server using the given session manager. A nil logger
@@ -258,7 +276,7 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 	// db is safe to read lock-free for however long the enumeration build
 	// takes: uploads replace the registered DB (copy-on-write), never mutate
 	// it.
-	o, err := openIter(db, &req)
+	o, err := openIter(db, &req, s.maxParallelism())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
@@ -331,7 +349,12 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		}
 		vals, weight, ok := sess.It.Next()
 		if !ok {
-			sess.Done = true
+			// Distinguish exhaustion from a close racing this page: an
+			// evicted session's iterator also stops, but that stream is
+			// truncated, not complete.
+			if sess.Ctx.Err() == nil {
+				sess.Done = true
+			}
 			break
 		}
 		sess.Served++

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// getPage fetches one page without t.Fatalf, so concurrent goroutines can
+// page the same session safely.
+func getPage(base, id string, k int) (NextResponse, error) {
+	var resp NextResponse
+	r, err := http.Get(fmt.Sprintf("%s/v1/queries/%s/next?k=%d", base, id, k))
+	if err != nil {
+		return resp, err
+	}
+	defer r.Body.Close()
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return resp, err
+	}
+	if r.StatusCode != http.StatusOK {
+		return resp, fmt.Errorf("status %d: %s", r.StatusCode, raw)
+	}
+	return resp, json.Unmarshal(raw, &resp)
+}
+
+// drainSession pages a session to exhaustion and returns weights indexed by
+// rank.
+func drainSession(t *testing.T, base, id string, pageK int) map[int]float64 {
+	t.Helper()
+	out := map[int]float64{}
+	for {
+		resp, err := getPage(base, id, pageK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range resp.Rows {
+			out[row.Rank] = weightOf(t, row)
+		}
+		if resp.Done {
+			return out
+		}
+	}
+}
+
+// TestParallelSessionMatchesSerial: the same query through a parallelism-4
+// session must serve the identical ranked weight sequence as a serial
+// session, and its plan must report the shard layout.
+func TestParallelSessionMatchesSerial(t *testing.T) {
+	_, ts := testServer(t, 16)
+	mustCreateDataset(t, ts.URL, "d")
+
+	serial := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path4"})
+	par := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path4", Parallelism: 4})
+	if par.Plan == nil || par.Plan.Shards == 0 || par.Plan.Parallelism != 4 {
+		t.Fatalf("parallel session plan %+v should report shards and parallelism", par.Plan)
+	}
+	if serial.Plan != nil && serial.Plan.Shards != 0 {
+		t.Fatalf("serial session plan %+v should not report shards", serial.Plan)
+	}
+
+	ws := drainSession(t, ts.URL, serial.ID, 97)
+	wp := drainSession(t, ts.URL, par.ID, 103)
+	if len(ws) == 0 || len(ws) != len(wp) {
+		t.Fatalf("serial served %d rows, parallel %d", len(ws), len(wp))
+	}
+	for rank := 1; rank <= len(ws); rank++ {
+		if ws[rank] != wp[rank] {
+			t.Fatalf("rank %d: serial weight %v, parallel %v", rank, ws[rank], wp[rank])
+		}
+	}
+}
+
+// TestConcurrentPagingOfParallelSessions hammers several parallelism > 1
+// sessions from several goroutines each (run under the -race CI job): pages
+// of one session must serialize — every rank delivered exactly once with
+// non-decreasing weights — while distinct sessions progress independently.
+func TestConcurrentPagingOfParallelSessions(t *testing.T) {
+	_, ts := testServer(t, 16)
+	mustCreateDataset(t, ts.URL, "d")
+
+	const sessions, workers = 3, 4
+	var wg sync.WaitGroup
+	for si := 0; si < sessions; si++ {
+		resp := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path3", Parallelism: 2})
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var mu sync.Mutex
+			got := map[int]float64{}
+			var inner sync.WaitGroup
+			errs := make(chan error, workers)
+			for w := 0; w < workers; w++ {
+				inner.Add(1)
+				go func() {
+					defer inner.Done()
+					for {
+						resp, err := getPage(ts.URL, id, 50)
+						if err != nil {
+							errs <- err
+							return
+						}
+						mu.Lock()
+						for _, row := range resp.Rows {
+							if _, dup := got[row.Rank]; dup {
+								mu.Unlock()
+								errs <- fmt.Errorf("rank %d served twice", row.Rank)
+								return
+							}
+							got[row.Rank] = row.Weight.(float64)
+						}
+						mu.Unlock()
+						if resp.Done {
+							return
+						}
+					}
+				}()
+			}
+			inner.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+			// Ranks must be the contiguous range 1..N with non-decreasing
+			// weights.
+			ranks := make([]int, 0, len(got))
+			for r := range got {
+				ranks = append(ranks, r)
+			}
+			sort.Ints(ranks)
+			for i, r := range ranks {
+				if r != i+1 {
+					t.Errorf("session %s: rank %d missing (got %d)", id, i+1, r)
+					return
+				}
+				if i > 0 && got[r] < got[ranks[i-1]] {
+					t.Errorf("session %s: rank %d weight %v < rank %d weight %v", id, r, got[r], ranks[i-1], got[ranks[i-1]])
+					return
+				}
+			}
+		}(resp.ID)
+	}
+	wg.Wait()
+}
+
+// TestParallelismValidationAndClamp: negatives are rejected, oversized
+// requests clamp to the server cap and still serve correct sessions, and
+// deleting a live parallel session releases it (Close path).
+func TestParallelismValidationAndClamp(t *testing.T) {
+	s, ts := testServer(t, 16)
+	s.MaxParallelism = 3
+	mustCreateDataset(t, ts.URL, "d")
+
+	var errResp ErrorResponse
+	st := doJSON(t, http.MethodPost, ts.URL+"/v1/queries",
+		QueryRequest{Dataset: "d", Query: "path4", Parallelism: -1}, &errResp)
+	if st != http.StatusBadRequest || errResp.Error.Code != CodeBadRequest {
+		t.Fatalf("negative parallelism: status %d code %q", st, errResp.Error.Code)
+	}
+
+	resp := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path4", Parallelism: 1000})
+	if resp.Plan == nil || resp.Plan.Parallelism != 3 {
+		t.Fatalf("plan %+v: parallelism should clamp to the cap 3", resp.Plan)
+	}
+	if page, err := getPage(ts.URL, resp.ID, 5); err != nil || len(page.Rows) == 0 {
+		t.Fatalf("clamped session should serve rows: %v %+v", err, page)
+	}
+	// Delete mid-enumeration: the session's shard producers must be released
+	// (the -race job would catch unsynchronized teardown).
+	if st := doJSON(t, http.MethodDelete, ts.URL+"/v1/queries/"+resp.ID, nil, nil); st != http.StatusNoContent {
+		t.Fatalf("delete: status %d", st)
+	}
+}

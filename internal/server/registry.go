@@ -25,8 +25,12 @@ type Iter interface {
 	Vars() []string
 	Trees() int
 	// Plan reports the decomposition route the engine chose (route, width,
-	// and — for GHD-planned queries — the bag structure).
+	// shard counts, and — for GHD-planned queries — the bag structure).
 	Plan() *engine.PlanInfo
+	// Close releases enumeration resources (the shard producer goroutines of
+	// a parallel session); the manager calls it when a session is evicted,
+	// removed, or shut down.
+	Close()
 }
 
 // eraseIter adapts engine.Iterator[W] to Iter via a weight converter.
@@ -46,6 +50,7 @@ func (e *eraseIter[W]) Next() ([]relation.Value, any, bool) {
 func (e *eraseIter[W]) Vars() []string         { return e.it.Vars }
 func (e *eraseIter[W]) Trees() int             { return e.it.Trees }
 func (e *eraseIter[W]) Plan() *engine.PlanInfo { return e.it.Plan }
+func (e *eraseIter[W]) Close()                 { e.it.Close() }
 
 // enumerate instantiates Enumerate at W and erases the result.
 func enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt engine.Options, weight func(W) any) (Iter, error) {
@@ -144,8 +149,26 @@ type opened struct {
 	alg   core.Algorithm
 }
 
+// resolveParallelism validates a request's parallelism against the
+// per-session cap: 0 defaults to 1 (sessions are serial unless the client
+// opts in — the daemon multiplexes many sessions over the same cores), values
+// above the cap clamp to it, negatives are rejected.
+func resolveParallelism(requested, cap int) (int, error) {
+	if requested < 0 {
+		return 0, fmt.Errorf("parallelism must be >= 0, got %d", requested)
+	}
+	if requested == 0 {
+		return 1, nil
+	}
+	if requested > cap {
+		return cap, nil
+	}
+	return requested, nil
+}
+
 // openIter builds the type-erased ranked iterator a session will hold.
-func openIter(db *relation.DB, req *QueryRequest) (*opened, error) {
+// maxParallelism caps the per-session worker count.
+func openIter(db *relation.DB, req *QueryRequest, maxParallelism int) (*opened, error) {
 	q, err := resolveQuery(req)
 	if err != nil {
 		return nil, err
@@ -162,7 +185,11 @@ func openIter(db *relation.DB, req *QueryRequest) (*opened, error) {
 	if err != nil {
 		return nil, err
 	}
-	opt := engine.Options{Semantics: sem, Dedup: req.Dedup}
+	par, err := resolveParallelism(req.Parallelism, maxParallelism)
+	if err != nil {
+		return nil, err
+	}
+	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par}
 	it, err := dioidBuilders[dname](db, q, alg, opt)
 	if err != nil {
 		return nil, err

@@ -205,4 +205,8 @@ func (m *Manager) removeLocked(s *Session) {
 	delete(m.byID, s.ID)
 	m.lru.Remove(s.elem)
 	s.cancel()
+	// Release the iterator's shard producers (no-op for serial sessions).
+	// Close never blocks, so holding m.mu here is safe even if a handler is
+	// mid-page on s: the producers drain out and that page simply ends.
+	s.It.Close()
 }

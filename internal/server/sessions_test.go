@@ -27,6 +27,7 @@ func (s *stubIter) Next() ([]relation.Value, any, bool) {
 func (s *stubIter) Vars() []string         { return []string{"x"} }
 func (s *stubIter) Trees() int             { return 1 }
 func (s *stubIter) Plan() *engine.PlanInfo { return nil }
+func (s *stubIter) Close()                 {}
 
 func newStub() Iter { return &stubIter{rows: [][]relation.Value{{1}, {2}, {3}}} }
 

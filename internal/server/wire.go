@@ -74,6 +74,12 @@ type QueryRequest struct {
 	Semantics string `json:"semantics,omitempty"`
 	// Dedup filters consecutive duplicate rows.
 	Dedup bool `json:"dedup,omitempty"`
+	// Parallelism requests a sharded parallel enumeration for the session:
+	// 0 (default) runs serially, higher values shard the DP build and ranked
+	// merge across that many workers, clamped to the server's per-session cap
+	// (see Server.MaxParallelism). The response plan reports the resolved
+	// shard count.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // QueryResponse announces a new enumeration session.

@@ -1,0 +1,115 @@
+package testkit
+
+import (
+	"math/rand"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+)
+
+// TestDifferentialTropical runs the full differential matrix under the
+// tropical (min, +) dioid: every family × every algorithm × parallelism 1
+// and 4 must match the serial Batch reference exactly.
+func TestDifferentialTropical(t *testing.T) {
+	r := rand.New(rand.NewSource(4001))
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for trial := 0; trial < 4; trial++ {
+				q, db := Instance(t, fam, r)
+				Diff(t, db, q, dioid.Tropical{}, 1, 4)
+			}
+		})
+	}
+}
+
+// TestDifferentialLex runs the matrix under the structured lexicographic
+// dioid, whose vector weights exercise the inverse-free candidate-priority
+// path and the merge's non-scalar comparisons.
+func TestDifferentialLex(t *testing.T) {
+	r := rand.New(rand.NewSource(4002))
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				q, db := Instance(t, fam, r)
+				Diff(t, db, q, dioid.NewLex(len(q.Atoms)), 1, 4)
+			}
+		})
+	}
+}
+
+// TestDifferentialMaxPlus covers the descending order on the acyclic
+// families (the decomposed cyclic routes assume an ascending inner order for
+// their heavy/light split, so they are exercised under tropical above).
+func TestDifferentialMaxPlus(t *testing.T) {
+	r := rand.New(rand.NewSource(4003))
+	for _, fam := range []string{"path", "star"} {
+		for trial := 0; trial < 3; trial++ {
+			q, db := Instance(t, fam, r)
+			Diff(t, db, q, dioid.MaxPlus{}, 1, 4)
+		}
+	}
+}
+
+// TestDifferentialParallelismSweep pins shard-count edge cases on one
+// instance per family: 2 and 3 shards (odd split), more shards than workers
+// would ever be sane (16), and more shards than the first stage has rows —
+// the layer must degrade to fewer shards, never to wrong output.
+func TestDifferentialParallelismSweep(t *testing.T) {
+	r := rand.New(rand.NewSource(4004))
+	for _, fam := range Families {
+		q, db := Instance(t, fam, r)
+		Diff(t, db, q, dioid.Tropical{}, 1, 2, 3, 16, 1000)
+	}
+}
+
+// TestDifferentialEmptyOutput: empty joins must stay empty on every path,
+// including parallel shards that all come up dead.
+func TestDifferentialEmptyOutput(t *testing.T) {
+	r := rand.New(rand.NewSource(4005))
+	for _, fam := range Families {
+		q, _ := Instance(t, fam, r)
+		// Disjoint domains per relation index guarantee no join results
+		// while keeping every relation non-empty.
+		db := RandomDB(r, q, 5, 1)
+		for i, name := range db.Names() {
+			rel := db.Relation(name)
+			for j := range rel.Rows {
+				rel.Rows[j][0] = int64(100 * (i + 1))
+			}
+		}
+		Diff(t, db, q, dioid.Tropical{}, 1, 4)
+	}
+}
+
+// TestInstanceFamiliesCoverRoutes sanity-checks the family table itself: the
+// four families must exercise all three decomposition routes, and parallel
+// plans must report their shard layout.
+func TestInstanceFamiliesCoverRoutes(t *testing.T) {
+	r := rand.New(rand.NewSource(4006))
+	routes := map[string]bool{}
+	for _, fam := range Families {
+		q, db := Instance(t, fam, r)
+		it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, core.Take2, engine.Options{Parallelism: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if it.Plan == nil {
+			t.Fatalf("%s: no plan reported", fam)
+		}
+		routes[it.Plan.Route] = true
+		if it.Shards > 0 && (it.Plan.Shards != it.Shards || it.Plan.Parallelism != 4) {
+			t.Fatalf("%s: plan shards=%d parallelism=%d, iterator shards=%d",
+				fam, it.Plan.Shards, it.Plan.Parallelism, it.Shards)
+		}
+		it.Close()
+	}
+	for _, want := range []string{"acyclic", "simple-cycle", "ghd"} {
+		if !routes[want] {
+			t.Fatalf("families %v never hit route %q (got %v)", Families, want, routes)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package testkit is the cross-algorithm differential test harness: it
+// generates seeded random instances of the paper's query families and asserts
+// that every any-k algorithm — at every parallelism setting, including the
+// fully serial 1 — emits the identical ranked weight sequence and row
+// multiset as the Batch reference (materialize + sort), which is trivially
+// correct and therefore anchors the whole enumeration stack. The engine's
+// parallel layer (sharded DP build, loser-tree merge) is exactly the kind of
+// change whose bugs produce *almost* sorted streams; a sequence-level
+// differential against Batch is what pins it down.
+//
+// The helpers are exported so other packages' property tests (e.g. the GHD
+// planner's) compare ranked streams through one comparator instead of ad-hoc
+// loops.
+package testkit
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// Families lists the query families the harness draws instances from: the
+// acyclic join-tree route (path, star), the simple-cycle heavy/light union
+// (cycle), and the generalized hypertree planner (clique4 is cyclic but not a
+// simple cycle). Together they cover every decomposition route of
+// engine.Enumerate.
+var Families = []string{"path", "star", "cycle", "clique"}
+
+// Instance generates a random instance of family from r: query sizes and
+// database shapes vary per draw, small enough that the Batch reference stays
+// fast while join keys are shared (dom is small) so choice-set groups are
+// non-trivial.
+func Instance(t testing.TB, family string, r *rand.Rand) (*query.CQ, *relation.DB) {
+	t.Helper()
+	var q *query.CQ
+	switch family {
+	case "path":
+		q = query.PathQuery(3 + r.Intn(3))
+	case "star":
+		q = query.StarQuery(3 + r.Intn(3))
+	case "cycle":
+		q = query.CycleQuery(4 + 2*r.Intn(2))
+	case "clique":
+		q = query.CliqueQuery(4)
+	default:
+		t.Fatalf("testkit: unknown family %q", family)
+	}
+	return q, RandomDB(r, q, 4+r.Intn(10), 2+r.Intn(3))
+}
+
+// RandomDB fills one relation per atom of q with rows random tuples over
+// [0, dom) and small integer weights — integer-valued float64 arithmetic is
+// exact, so cross-algorithm weight comparisons are exact too.
+func RandomDB(r *rand.Rand, q *query.CQ, rows, dom int) *relation.DB {
+	db := relation.NewDB()
+	for _, a := range q.Atoms {
+		if db.Relation(a.Rel) != nil {
+			continue
+		}
+		attrs := make([]string, len(a.Vars))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("A%d", i+1)
+		}
+		rel := relation.New(a.Rel, attrs...)
+		for k := 0; k < rows; k++ {
+			vals := make([]relation.Value, len(attrs))
+			for i := range vals {
+				vals[i] = int64(r.Intn(dom))
+			}
+			rel.Add(float64(r.Intn(50)), vals...)
+		}
+		db.AddRelation(rel)
+	}
+	return db
+}
+
+// Collect enumerates q over db with the given algorithm and parallelism and
+// returns the full ranked stream.
+func Collect[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, parallelism int) []core.Row[W] {
+	t.Helper()
+	it, err := engine.Enumerate[W](db, q, d, alg, engine.Options{Parallelism: parallelism})
+	if err != nil {
+		t.Fatalf("testkit: enumerate %s/%v/p=%d: %v", q.Name, alg, parallelism, err)
+	}
+	defer it.Close()
+	return it.Drain(0)
+}
+
+// Diff is the differential harness: every ranked algorithm, at every
+// parallelism in ps, must emit a weight sequence order-equivalent to the
+// serial Batch reference and the same multiset of row values. Weight
+// *sequence* equality (not just sortedness) is the paper's contract — any-k
+// must produce exactly the ranked output of materialize-and-sort.
+func Diff[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 4}
+	}
+	ref := Collect(t, db, q, d, core.Batch, 1)
+	for _, alg := range core.Algorithms {
+		for _, p := range ps {
+			if alg == core.Batch && p == 1 {
+				continue // the reference itself
+			}
+			got := Collect(t, db, q, d, alg, p)
+			CompareRanked(t, fmt.Sprintf("%s/%v/p=%d", q.Name, alg, p), d, got, ref)
+		}
+	}
+}
+
+// CompareRanked asserts got matches the reference stream: same length,
+// order-equivalent weight at every rank, and the same multiset of row values.
+func CompareRanked[W any](t testing.TB, label string, d dioid.Dioid[W], got, ref []core.Row[W]) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(ref))
+	}
+	for i := range got {
+		if !dioid.Eq(d, got[i].Weight, ref[i].Weight) {
+			t.Fatalf("%s: rank %d weight %v, want %v", label, i, got[i].Weight, ref[i].Weight)
+		}
+	}
+	SameRows(t, label, RowKeys(got), RowKeys(ref))
+}
+
+// Ranked asserts the stream's weights are non-decreasing under d.
+func Ranked[W any](t testing.TB, label string, d dioid.Dioid[W], rows []core.Row[W]) {
+	t.Helper()
+	for i := 1; i < len(rows); i++ {
+		if d.Less(rows[i].Weight, rows[i-1].Weight) {
+			t.Fatalf("%s: rank %d weight %v sorts before its predecessor %v", label, i, rows[i].Weight, rows[i-1].Weight)
+		}
+	}
+}
+
+// SameRows asserts got and want are equal as multisets of formatted rows.
+func SameRows(t testing.TB, label string, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(want))
+	}
+	set := make(map[string]int, len(want))
+	for _, k := range want {
+		set[k]++
+	}
+	for _, k := range got {
+		if set[k] == 0 {
+			t.Fatalf("%s: unexpected row %s", label, k)
+		}
+		set[k]--
+	}
+}
+
+// Key formats one row (values + scalar weight) for multiset comparison.
+func Key(vals []relation.Value, w float64) string {
+	return fmt.Sprintf("%v|%.6f", vals, w)
+}
+
+// RowKeys formats a stream's row values (weights excluded — ranks carry them)
+// for multiset comparison.
+func RowKeys[W any](rows []core.Row[W]) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprint(r.Vals)
+	}
+	return out
+}
