@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -280,6 +281,68 @@ var experiments = []experiment{
 	}},
 
 	{"par1", "fig10a workload at parallelism 1/2/4/8: sharded any-k speedup curves", par1},
+
+	{"cache1", "compiled-plan cache: cold vs warm session TTF on the fig10a dataset", cache1},
+}
+
+// cache1 measures what the compiled-plan cache buys a session over a shared
+// dataset: the fig10a workload (4-path, uniform) is opened repeatedly
+// against one engine.Cache, recording the time-to-first-result of the cold,
+// cache-filling session against the median TTF of the warm sessions that
+// replay the memoized plan and DP graphs. Each algorithm gets a fresh cache
+// (plans and graphs are shared across algorithms, so reuse would make every
+// later algorithm's "cold" run warm). Series land in BENCH_results.json
+// under figure "cache1" with "/cold" and "/warm" suffixes.
+func cache1() {
+	db := dataset.Uniform(4, sc(1000), *seedFlag)
+	q := query.PathQuery(4)
+	const warmRuns = 9
+	fmt.Println("== cache1: compiled-plan cache, cold vs warm session TTF (fig10a dataset) ==")
+	fmt.Printf("%-12s %14s %14s %10s\n", "algorithm", "cold TTF", "warm TTF(med)", "speedup")
+	var series []bench.Series
+	ttf := func(cache *engine.Cache, alg core.Algorithm) (float64, error) {
+		start := time.Now()
+		it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg,
+			engine.Options{Parallelism: maxInt(1, *parFlag), Cache: cache})
+		if err != nil {
+			return 0, err
+		}
+		defer it.Close()
+		it.Next()
+		return time.Since(start).Seconds(), nil
+	}
+	for _, alg := range []core.Algorithm{core.Take2, core.Recursive, core.Lazy, core.Eager} {
+		cache := engine.NewCache(0)
+		cold, err := ttf(cache, alg)
+		if err != nil {
+			// Abort without recording: a zeroed series in BENCH_results.json
+			// would read as a measurement, not a failure.
+			fmt.Printf("cache1: %v\n", err)
+			return
+		}
+		warms := make([]float64, 0, warmRuns)
+		for i := 0; i < warmRuns; i++ {
+			w, err := ttf(cache, alg)
+			if err != nil {
+				fmt.Printf("cache1: %v\n", err)
+				return
+			}
+			warms = append(warms, w)
+		}
+		sort.Float64s(warms)
+		warm := warms[len(warms)/2]
+		speedup := 0.0
+		if warm > 0 {
+			speedup = cold / warm
+		}
+		fmt.Printf("%-12s %13.6fs %13.6fs %9.1fx\n", alg.String(), cold, warm, speedup)
+		series = append(series,
+			bench.Series{Algorithm: alg.String() + "/cold", TTF: cold, Total: 1, Points: []bench.Point{{K: 1, Seconds: cold}}},
+			bench.Series{Algorithm: alg.String() + "/warm", TTF: warm, Total: 1, Points: []bench.Point{{K: 1, Seconds: warm}}},
+		)
+	}
+	fmt.Println()
+	record("cache1", series)
 }
 
 // par1 sweeps the parallel layer over the fig10a workload (4-path, uniform,

@@ -1,0 +1,34 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheLookupStoreRace hammers lookup and store on one key (the
+// concurrent-cold-miss shape, where store overwrites an entry's value in
+// place): under -race this pins that lookup reads the value inside the
+// locked section.
+func TestCacheLookupStoreRace(t *testing.T) {
+	c := NewCache(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.store("k", []int{w, i})
+				if v, ok := c.lookup("k"); ok {
+					if _, isSlice := v.([]int); !isSlice {
+						t.Errorf("lookup returned %T", v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("expected the single shared key, got %d entries", s.Entries)
+	}
+}

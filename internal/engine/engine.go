@@ -57,6 +57,17 @@ type Options struct {
 	// goroutines — call Iterator.Close when abandoning them before
 	// exhaustion.
 	Parallelism int
+	// Cache, when non-nil, memoizes the whole preprocessing pipeline —
+	// compiled stage-input trees and bottom-upped DP graphs — keyed by
+	// (db identity, db version, query, dioid, semantics). Sessions over an
+	// unchanged database then share preprocessing and pay only enumerator
+	// start-up for their time-to-first-result; any mutation of the database
+	// changes its version and misses. Safe for concurrent sessions.
+	Cache *Cache
+
+	// planKey is the resolved compiled-plan cache key for this invocation;
+	// Enumerate sets it so EnumerateUnion can derive graph-layer keys.
+	planKey string
 }
 
 // parallelism resolves the effective worker count.
@@ -140,14 +151,34 @@ func (it *Iterator[W]) Drain(k int) []core.Row[W] {
 }
 
 // Enumerate ranks the answers of q over db under dioid d using the given
-// any-k algorithm.
+// any-k algorithm. With Options.Cache set, the compiled plan and the built
+// DP graphs are shared across calls on an unchanged database.
 func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opts ...Options) (*Iterator[W], error) {
 	var opt Options
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
+	prep, planKey, err := prepare[W](db, q, d, opt)
+	if err != nil {
+		return nil, err
+	}
+	opt.planKey = planKey
+	it, err := EnumerateUnion[W](d, prep.trees, prep.outVars, alg, opt)
+	if err != nil {
+		return nil, fmt.Errorf("query %s: %s plan (width %d) did not lower: %w", q.Name, prep.plan.Route, prep.plan.Width, err)
+	}
+	info := prep.plan // copy the cached skeleton before stamping per-run fields
+	info.Trees = it.Trees
+	it.Plan = annotateParallel(&info, it, opt)
+	return it, nil
+}
+
+// compile resolves the decomposition route for q and materializes its
+// stage-input trees — the entire preprocessing phase up to (but excluding)
+// the DP graph build. Everything it returns is immutable and cacheable.
+func compile[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt Options) (*prepared[W], error) {
 	if query.IsAcyclic(q) {
-		return enumerateAcyclic(db, q, d, alg, opt)
+		return compileAcyclic(db, q, d, opt)
 	}
 	if !q.IsFull() {
 		return nil, fmt.Errorf("query %s: projections over cyclic queries are not supported", q.Name)
@@ -156,7 +187,7 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	if cycErr != nil {
 		// Not a simple cycle: fall back to the generalized hypertree
 		// decomposition planner, which handles any cyclic full CQ.
-		return enumerateGHD(db, q, d, alg, opt, cycErr)
+		return compileGHD(db, q, d, cycErr)
 	}
 	trees, err := decomp.Decompose[W](d, db, shape)
 	if err != nil {
@@ -166,18 +197,17 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	for i, tr := range trees {
 		inputs[i] = tr.Inputs
 	}
-	it, err := EnumerateUnion[W](d, inputs, q.Vars(), alg, opt)
-	if err != nil {
-		return nil, err
-	}
-	it.Plan = annotateParallel(&PlanInfo{Route: "simple-cycle", Width: 2, Trees: it.Trees}, it, opt)
-	return it, nil
+	return &prepared[W]{
+		trees:   inputs,
+		outVars: q.Vars(),
+		plan:    PlanInfo{Route: "simple-cycle", Width: 2},
+	}, nil
 }
 
-// enumerateGHD runs the planner fallback for cyclic queries that are not
+// compileGHD runs the planner fallback for cyclic queries that are not
 // simple cycles. Errors name the fallback and its computed width so callers
 // can see which decomposition was attempted.
-func enumerateGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt Options, cycErr error) (*Iterator[W], error) {
+func compileGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], cycErr error) (*prepared[W], error) {
 	plan, err := hypertree.Decompose(q)
 	if err != nil {
 		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (%v) and the GHD planner fallback failed: %w", q.Name, cycErr, err)
@@ -187,12 +217,11 @@ func enumerateGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg cor
 		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (%v); its GHD fallback plan (width %d, %d bags) failed: %w",
 			q.Name, cycErr, plan.Width, len(plan.Bags), err)
 	}
-	it, err := EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.Vars(), alg, opt)
-	if err != nil {
-		return nil, fmt.Errorf("cyclic query %s: GHD plan (width %d, %d bags) did not lower: %w", q.Name, plan.Width, len(plan.Bags), err)
-	}
-	it.Plan = annotateParallel(ghdPlanInfo(plan, it.Trees), it, opt)
-	return it, nil
+	return &prepared[W]{
+		trees:   [][]dpgraph.StageInput[W]{inputs},
+		outVars: q.Vars(),
+		plan:    *ghdPlanInfo(plan, 0),
+	}, nil
 }
 
 func ghdPlanInfo(plan *hypertree.Plan, trees int) *PlanInfo {
@@ -220,17 +249,27 @@ func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], ou
 	if p := opt.parallelism(); p > 1 {
 		return enumerateParallel[W](d, trees, outVars, alg, opt, p)
 	}
-	iters := make([]core.RowIter[W], 0, len(trees))
-	for i, inputs := range trees {
-		g, err := dpgraph.Build[W](d, inputs, outVars)
-		if err != nil {
-			return nil, fmt.Errorf("tree %d: %w", i, err)
+	graphs, err := cachedGraphs(opt, opt.planKey, "serial", func() ([]unionGraph[W], error) {
+		out := make([]unionGraph[W], 0, len(trees))
+		for i, inputs := range trees {
+			g, err := dpgraph.Build[W](d, inputs, outVars)
+			if err != nil {
+				return nil, fmt.Errorf("tree %d: %w", i, err)
+			}
+			g.BottomUp()
+			out = append(out, unionGraph[W]{g: g, tree: i})
 		}
-		g.BottomUp()
-		if g.Empty() {
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	iters := make([]core.RowIter[W], 0, len(graphs))
+	for _, ug := range graphs {
+		if ug.g.Empty() {
 			continue
 		}
-		iters = append(iters, core.NewGraphIter[W](g, core.New[W](g, alg), i))
+		iters = append(iters, core.NewGraphIter[W](ug.g, core.New[W](ug.g, alg), ug.tree))
 	}
 	var it core.RowIter[W]
 	switch len(iters) {
@@ -256,7 +295,7 @@ func annotateParallel[W any](plan *PlanInfo, it *Iterator[W], opt Options) *Plan
 	return plan
 }
 
-func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt Options) (*Iterator[W], error) {
+func compileAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt Options) (*prepared[W], error) {
 	var plan *query.Plan
 	var err error
 	minWeight := !q.IsFull() && opt.Semantics == MinWeight
@@ -272,12 +311,11 @@ func enumerateAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg
 	if err != nil {
 		return nil, err
 	}
-	it, err := EnumerateUnion[W](d, [][]dpgraph.StageInput[W]{inputs}, q.FreeVars(), alg, opt)
-	if err != nil {
-		return nil, err
-	}
-	it.Plan = annotateParallel(&PlanInfo{Route: "acyclic", Width: 1, Trees: 1}, it, opt)
-	return it, nil
+	return &prepared[W]{
+		trees:   [][]dpgraph.StageInput[W]{inputs},
+		outVars: q.FreeVars(),
+		plan:    PlanInfo{Route: "acyclic", Width: 1},
+	}, nil
 }
 
 // stageInputs materializes the plan's nodes: full nodes carry the relation's
@@ -327,32 +365,30 @@ func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], min
 		}
 		switch {
 		case projected:
-			// Distinct projections with neutral weight.
-			seen := map[relation.Key]bool{}
-			for r := range rel.Rows {
-				row := rel.Project(r, cols)
-				k := relation.MakeKey(row)
-				if seen[k] {
-					continue
-				}
-				seen[k] = true
-				in.Rows = append(in.Rows, row)
-				in.Weights = append(in.Weights, d.One())
+			// Distinct projections with neutral weight, read off the
+			// relation's cached hash index (one row per group) instead of
+			// rescanning and re-deduplicating all rows per session.
+			idx := rel.GroupIndex(cols)
+			in.Rows = make([][]relation.Value, len(idx.Groups))
+			in.Weights = make([]W, len(idx.Groups))
+			for g, members := range idx.Groups {
+				in.Rows[g] = rel.Project(members[0], cols)
+				in.Weights[g] = d.One()
 			}
 		case minWeightQuery && !node.Prune:
-			// Pure connex node: dedupe rows, keep the minimal weight.
-			best := map[relation.Key]int{}
-			for r := range rel.Rows {
-				row := rel.Project(r, cols)
-				k := relation.MakeKey(row)
-				w := d.Lift(rel.Weights[r], node.Atom, int64(r))
-				if i, ok := best[k]; ok {
-					in.Weights[i] = d.Plus(in.Weights[i], w)
-					continue
+			// Pure connex node: one row per index group, weights Plus-folded
+			// over the group's members in row order (the same fold order the
+			// scan produced, so tie-breaking dioids agree).
+			idx := rel.GroupIndex(cols)
+			in.Rows = make([][]relation.Value, len(idx.Groups))
+			in.Weights = make([]W, len(idx.Groups))
+			for g, members := range idx.Groups {
+				w := d.Lift(rel.Weights[members[0]], node.Atom, int64(members[0]))
+				for _, r := range members[1:] {
+					w = d.Plus(w, d.Lift(rel.Weights[r], node.Atom, int64(r)))
 				}
-				best[k] = len(in.Rows)
-				in.Rows = append(in.Rows, row)
-				in.Weights = append(in.Weights, w)
+				in.Rows[g] = rel.Project(members[0], cols)
+				in.Weights[g] = w
 			}
 		default:
 			in.Rows = make([][]relation.Value, rel.Size())

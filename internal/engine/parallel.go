@@ -62,6 +62,41 @@ func shardInputs[W any](inputs []dpgraph.StageInput[W], s int) [][]dpgraph.Stage
 // tree, build and bottom-up all shard graphs across a worker pool, and merge
 // the per-shard ranked streams.
 func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, alg core.Algorithm, opt Options, p int) (*Iterator[W], error) {
+	// The shard layout is a deterministic function of (trees, p), so the
+	// built graphs are memoizable per parallelism setting; warm sessions
+	// skip straight to wiring up the merge.
+	graphs, err := cachedGraphs(opt, opt.planKey, fmt.Sprintf("p=%d", p), func() ([]unionGraph[W], error) {
+		return buildShardGraphs(d, trees, outVars, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(graphs) == 0 { // no trees at all
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: 0}, nil
+	}
+	iters := make([]core.RowIter[W], 0, len(graphs))
+	for _, ug := range graphs {
+		if ug.g.Empty() {
+			continue
+		}
+		iters = append(iters, core.NewGraphIter[W](ug.g, core.New[W](ug.g, alg), ug.tree))
+	}
+	if len(iters) == 0 {
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: len(trees)}, nil
+	}
+	m := core.NewParallelMerge[W](d, iters)
+	var it core.RowIter[W] = m
+	if opt.Dedup {
+		it = core.NewDedup[W](it)
+	}
+	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), Shards: len(iters), closer: m.Close}, nil
+}
+
+// buildShardGraphs shards every tree and runs build + bottom-up for all
+// shards across a worker pool of size p. When sharding degenerated (fewer
+// shards than workers), the spare workers go into the per-stage DP
+// parallelism instead.
+func buildShardGraphs[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, p int) ([]unionGraph[W], error) {
 	type shard struct {
 		inputs []dpgraph.StageInput[W]
 		tree   int
@@ -72,17 +107,14 @@ func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W],
 			shards = append(shards, shard{sh, ti})
 		}
 	}
-	if len(shards) == 0 { // no trees at all
-		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: 0}, nil
+	if len(shards) == 0 {
+		return nil, nil
 	}
-	// Build + DP pass per shard, at most p at a time. When sharding
-	// degenerated (fewer shards than workers), the spare workers go into the
-	// per-stage DP parallelism instead.
 	workersPer := p / len(shards)
 	if workersPer < 1 {
 		workersPer = 1
 	}
-	graphs := make([]*dpgraph.Graph[W], len(shards))
+	graphs := make([]unionGraph[W], len(shards))
 	errs := make([]error, len(shards))
 	sem := make(chan struct{}, p)
 	var wg sync.WaitGroup
@@ -98,7 +130,7 @@ func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W],
 				return
 			}
 			g.BottomUpP(workersPer)
-			graphs[i] = g
+			graphs[i] = unionGraph[W]{g: g, tree: shards[i].tree}
 		}(i)
 	}
 	wg.Wait()
@@ -107,20 +139,5 @@ func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W],
 			return nil, err
 		}
 	}
-	iters := make([]core.RowIter[W], 0, len(shards))
-	for i, g := range graphs {
-		if g.Empty() {
-			continue
-		}
-		iters = append(iters, core.NewGraphIter[W](g, core.New[W](g, alg), shards[i].tree))
-	}
-	if len(iters) == 0 {
-		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: len(trees)}, nil
-	}
-	m := core.NewParallelMerge[W](d, iters)
-	var it core.RowIter[W] = m
-	if opt.Dedup {
-		it = core.NewDedup[W](it)
-	}
-	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), Shards: len(iters), closer: m.Close}, nil
+	return graphs, nil
 }

@@ -8,6 +8,7 @@ package join
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"anyk/internal/query"
 	"anyk/internal/relation"
@@ -42,6 +43,30 @@ type leafTuple struct {
 }
 
 func newTrie(depth int) *trie { return &trie{depth: depth, children: map[relation.Value]*trie{}} }
+
+// atomTrie returns the hash trie of r's rows keyed by the given column
+// order, cached on the relation itself: tries are read-only after
+// construction, so repeated joins over the same relation — self-join query
+// atoms, GHD bags sharing a cover relation, or back-to-back sessions on one
+// dataset — reuse one build. The memo is invalidated when the relation
+// mutates (see relation.Memo).
+func atomTrie(r *relation.Relation, order []int) *trie {
+	sig := "join.trie"
+	for _, c := range order {
+		sig += ":" + strconv.Itoa(c)
+	}
+	return r.Memo(sig, func() any {
+		root := newTrie(0)
+		buf := make([]relation.Value, len(order))
+		for rIdx, row := range r.Rows {
+			for d, c := range order {
+				buf[d] = row[c]
+			}
+			root.insert(buf, r.Weights[rIdx], rIdx)
+		}
+		return root
+	}).(*trie)
+}
 
 func (t *trie) insert(vals []relation.Value, w float64, row int) {
 	node := t
@@ -114,16 +139,9 @@ func GenericJoinWitness(db *relation.DB, q *query.CQ, emit func(vals []relation.
 			order[j] = j
 		}
 		sort.Slice(order, func(x, y int) bool { return varPos[a.Vars[order[x]]] < varPos[a.Vars[order[y]]] })
-		atoms[i] = gjAtom{root: newTrie(0), nextVarAt: make([]int, len(vars)), arity: len(a.Vars)}
+		atoms[i] = gjAtom{root: atomTrie(r, order), nextVarAt: make([]int, len(vars)), arity: len(a.Vars)}
 		for d, c := range order {
 			atoms[i].nextVarAt[varPos[a.Vars[c]]] = d + 1
-		}
-		buf := make([]relation.Value, len(order))
-		for rIdx, row := range r.Rows {
-			for d, c := range order {
-				buf[d] = row[c]
-			}
-			atoms[i].root.insert(buf, r.Weights[rIdx], rIdx)
 		}
 	}
 	nodes := make([]*trie, len(atoms))

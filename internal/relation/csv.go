@@ -9,44 +9,117 @@ import (
 	"strings"
 )
 
-// csvFields splits a data line on the accepted separators (comma or
-// whitespace) — the single definition the loaders and the arity sniffer
-// share.
-func csvFields(line string) []string {
-	return strings.FieldsFunc(line, func(c rune) bool { return c == ',' || c == ' ' || c == '\t' })
+// csvSep is the field separator of one CSV file: sniffed from the first data
+// row and then enforced on every following line, so a file cannot silently
+// mix comma- and whitespace-separated rows.
+type csvSep int
+
+const (
+	sepUnknown csvSep = iota
+	sepComma
+	sepSpace
+)
+
+func (s csvSep) String() string {
+	if s == sepComma {
+		return "comma"
+	}
+	return "whitespace"
+}
+
+// sniffSep picks the separator a (trimmed, non-empty) data line uses: comma
+// when one is present, whitespace otherwise.
+func sniffSep(line string) csvSep {
+	if strings.ContainsRune(line, ',') {
+		return sepComma
+	}
+	return sepSpace
+}
+
+// splitFields splits a data line under sep. Comma mode splits on every comma
+// and preserves empty fields (so `1,,2,0.5` is four fields, not three — the
+// caller rejects the empty one loudly instead of silently shifting columns);
+// whitespace mode collapses runs of spaces/tabs. A line whose separators
+// disagree with sep is an error: the caller prefixes it with the line number.
+func splitFields(line string, sep csvSep) ([]string, error) {
+	switch sep {
+	case sepComma:
+		fields := strings.Split(line, ",")
+		for i := range fields {
+			fields[i] = strings.TrimSpace(fields[i])
+		}
+		return fields, nil
+	default:
+		if strings.ContainsRune(line, ',') {
+			return nil, fmt.Errorf("comma-separated row in a whitespace-separated file")
+		}
+		return strings.Fields(line), nil
+	}
 }
 
 // csvSkip reports whether a (trimmed) line carries no data.
 func csvSkip(line string) bool { return line == "" || strings.HasPrefix(line, "#") }
 
-// LoadCSV reads a weighted relation from comma- (or whitespace-) separated
+// parseField validates one field before numeric parsing: empty fields (from
+// adjacent commas) and whitespace inside a comma-separated field (a mixed
+// separator) are rejected with explicit errors rather than left to the
+// number parser's less helpful ones.
+func parseField(field string, sep csvSep) (string, error) {
+	if field == "" {
+		return "", fmt.Errorf("empty field")
+	}
+	if sep == sepComma && strings.ContainsAny(field, " \t") {
+		return "", fmt.Errorf("whitespace inside comma-separated field %q (mixed separators?)", field)
+	}
+	return field, nil
+}
+
+// LoadCSV reads a weighted relation from comma- or whitespace-separated
 // text: one row per line, all columns integer values except the last, which
 // is the float64 tuple weight. Lines starting with '#' and blank lines are
-// skipped. The schema must match the number of value columns.
+// skipped. The separator is sniffed from the first data row and every later
+// row must use the same one; comma rows keep empty fields, which are
+// rejected as errors rather than collapsed. The schema must match the number
+// of value columns.
 func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 	rel := New(name, attrs...)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
+	sep := sepUnknown
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if csvSkip(line) {
 			continue
 		}
-		fields := csvFields(line)
+		if sep == sepUnknown {
+			sep = sniffSep(line)
+		}
+		fields, err := splitFields(line, sep)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", name, lineNo, err)
+		}
 		if len(fields) != len(attrs)+1 {
-			return nil, fmt.Errorf("%s line %d: %d fields, want %d values + weight", name, lineNo, len(fields), len(attrs))
+			return nil, fmt.Errorf("%s line %d: %d %s-separated fields, want %d values + weight", name, lineNo, len(fields), sep, len(attrs))
 		}
 		vals := make([]Value, len(attrs))
 		for i := range attrs {
-			v, err := strconv.ParseInt(strings.TrimSpace(fields[i]), 10, 64)
+			f, err := parseField(fields[i], sep)
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
+			}
+			v, err := strconv.ParseInt(f, 10, 64)
 			if err != nil {
 				return nil, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
 			}
 			vals[i] = v
 		}
-		w, err := strconv.ParseFloat(strings.TrimSpace(fields[len(attrs)]), 64)
+		f, err := parseField(fields[len(attrs)], sep)
+		if err != nil {
+			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
+		}
+		w, err := strconv.ParseFloat(f, 64)
 		if err != nil {
 			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
 		}
@@ -62,8 +135,10 @@ func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 
 // LoadCSVAuto is LoadCSV with the schema inferred from the data: the arity is
 // taken from the first data row (fields minus the trailing weight) and the
-// attributes are named A1..Ak. It serves callers that receive rows without a
-// declared schema, such as the HTTP upload endpoint.
+// attributes are named A1..Ak. Empty fields count toward the arity — `1,,2,.5`
+// infers three value columns and then fails loudly on the empty one instead
+// of inferring a wrong arity and shifting columns. It serves callers that
+// receive rows without a declared schema, such as the HTTP upload endpoint.
 func LoadCSVAuto(r io.Reader, name string) (*Relation, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var peeked []byte
@@ -72,11 +147,14 @@ func LoadCSVAuto(r io.Reader, name string) (*Relation, error) {
 		peeked = append(peeked, line...)
 		trimmed := strings.TrimSpace(string(line))
 		if !csvSkip(trimmed) {
-			n := len(csvFields(trimmed))
-			if n < 2 {
-				return nil, fmt.Errorf("%s: first data row has %d fields, want at least 1 value + weight", name, n)
+			fields, splitErr := splitFields(trimmed, sniffSep(trimmed))
+			if splitErr != nil { // unreachable: the sniffed separator always matches
+				return nil, fmt.Errorf("%s: %w", name, splitErr)
 			}
-			attrs := make([]string, n-1)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("%s: first data row has %d fields, want at least 1 value + weight", name, len(fields))
+			}
+			attrs := make([]string, len(fields)-1)
 			for i := range attrs {
 				attrs[i] = fmt.Sprintf("A%d", i+1)
 			}

@@ -10,14 +10,24 @@ func TestLoadCSV(t *testing.T) {
 	in := `# edges
 1,2,0.5
 3,4,1.25
-
-7 8 2
+7, 8, 2
 `
 	r, err := LoadCSV(strings.NewReader(in), "E", "from", "to")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Size() != 3 || r.Rows[2][0] != 7 || r.Weights[1] != 1.25 {
+		t.Fatalf("parsed: %+v", r)
+	}
+}
+
+func TestLoadCSVWhitespace(t *testing.T) {
+	in := "1 2 0.5\n3\t4\t1.25\n"
+	r, err := LoadCSV(strings.NewReader(in), "E", "from", "to")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != 2 || r.Rows[1][1] != 4 || r.Weights[0] != 0.5 {
 		t.Fatalf("parsed: %+v", r)
 	}
 }
@@ -32,6 +42,53 @@ func TestLoadCSVErrors(t *testing.T) {
 	for _, c := range cases {
 		if _, err := LoadCSV(strings.NewReader(c), "E", "a", "b"); err == nil {
 			t.Errorf("LoadCSV(%q) succeeded", c)
+		}
+	}
+}
+
+// Empty fields on comma-separated lines must be preserved (counted toward
+// the arity) and rejected loudly, never collapsed into neighbors: the old
+// FieldsFunc splitter turned `1,,2,0.5` into three fields and silently
+// shifted columns.
+func TestLoadCSVEmptyFields(t *testing.T) {
+	cases := map[string]string{
+		"1,,0.5\n":    "empty field",
+		"1,2,\n":      "empty field", // empty weight
+		",2,0.5\n":    "empty field",
+		"1,,2,0.5\n":  "fields, want", // 4 fields against a 2+weight schema
+		"1,2,0.5,\n":  "fields, want",
+		"1,2,,0.5\n":  "fields, want",
+		"1, ,2,0.5\n": "fields, want",
+	}
+	for in, want := range cases {
+		_, err := LoadCSV(strings.NewReader(in), "E", "a", "b")
+		if err == nil {
+			t.Errorf("LoadCSV(%q) succeeded", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("LoadCSV(%q) error %q, want mention of %q", in, err, want)
+		}
+	}
+}
+
+// Mixed separators within one file must be rejected with a line-numbered
+// error: the separator is sniffed from the first data row and enforced.
+func TestLoadCSVMixedSeparators(t *testing.T) {
+	cases := map[string]string{
+		"1,2,0.5\n7 8 2\n":        "line 2", // whitespace row in a comma file (arity error)
+		"7 8 2\n1,2,0.5\n":        "line 2: comma-separated row in a whitespace-separated file",
+		"1,2 3,0.5\n":             "whitespace inside comma-separated field",
+		"# c\n\n7 8 2\n1,2,0.5\n": "line 4",
+	}
+	for in, want := range cases {
+		_, err := LoadCSV(strings.NewReader(in), "E", "a", "b")
+		if err == nil {
+			t.Errorf("LoadCSV(%q) succeeded", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("LoadCSV(%q) error %q, want mention of %q", in, err, want)
 		}
 	}
 }
@@ -61,11 +118,26 @@ func TestLoadCSVAutoErrors(t *testing.T) {
 		"# only\n# comments\n", // no data rows
 		"7\n",                  // weight only, no value columns
 		"1,2,0.5\n3,4\n",       // later row narrower than inferred schema
+		"1,,2,0.5\n",           // empty field counted toward arity, then rejected
+		"1,2,0.5\n3 4 1\n",     // mixed separators across rows
 	}
 	for _, c := range cases {
 		if _, err := LoadCSVAuto(strings.NewReader(c), "E"); err == nil {
 			t.Errorf("LoadCSVAuto(%q) succeeded", c)
 		}
+	}
+}
+
+// The arity sniffer must count empty fields: `1,,2,0.5` declares three value
+// columns (A1..A3), so the data row fails on its empty column instead of
+// loading under a silently narrowed schema.
+func TestLoadCSVAutoEmptyFieldArity(t *testing.T) {
+	_, err := LoadCSVAuto(strings.NewReader("1,,2,0.5\n"), "E")
+	if err == nil {
+		t.Fatal("LoadCSVAuto accepted a row with an empty field")
+	}
+	if !strings.Contains(err.Error(), "empty field") {
+		t.Fatalf("error %q, want mention of the empty field", err)
 	}
 }
 

@@ -19,6 +19,13 @@ func FuzzLoadCSVAuto(f *testing.F) {
 	f.Add([]byte(",,,\n"))
 	f.Add([]byte("1,2,"))
 	f.Add([]byte("#\xff\xfe\n1,1\n"))
+	f.Add([]byte("1,,2,0.5\n"))         // empty field must error, not shift columns
+	f.Add([]byte("1,2,0.5,\n"))         // trailing empty field
+	f.Add([]byte(", ,,\n"))             // blank-ish fields
+	f.Add([]byte("1,2,0.5\n3 4 1\n"))   // mixed separators across rows
+	f.Add([]byte("3 4 1\n1,2,0.5\n"))   // mixed the other way
+	f.Add([]byte("1,2 3,0.5\n"))        // whitespace inside a comma field
+	f.Add([]byte("1\t2\t0.5\n3 4 1\n")) // tabs and spaces are one separator class
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rel, err := LoadCSVAuto(bytes.NewReader(data), "F")
 		if err != nil {

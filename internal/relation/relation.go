@@ -4,26 +4,69 @@
 // construction relies on.
 package relation
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
 
 // Value is a domain value. Queries use equality only, so an integer-encoded
 // domain loses no generality (string dictionaries map onto it).
 type Value = int64
 
+// stampCounter is the global monotone stamp source behind every Version():
+// each mutation anywhere takes a fresh stamp, so "newest stamp visible from
+// here" is a valid version for any object graph that only grows or is
+// replaced wholesale.
+var stampCounter atomic.Uint64
+
+// nextStamp returns a fresh stamp, strictly larger than every stamp handed
+// out before it.
+func nextStamp() uint64 { return stampCounter.Add(1) }
+
 // Relation is a named, weighted relation. Row i has values Rows[i] (arity =
 // len(Attrs)) and input weight Weights[i]. Relations are bags: duplicate rows
 // are allowed.
+//
+// A relation lazily accretes derived read-only structures — hash indexes
+// (GroupIndex) and arbitrary memos (Memo) — that are invalidated wholesale
+// when a row is added. Mutation is not safe concurrently with anything else,
+// but any number of readers (including index builders) may run concurrently
+// once the relation stops changing; the HTTP service guarantees that with
+// copy-on-write database registration.
 type Relation struct {
 	Name    string
 	Attrs   []string
 	Rows    [][]Value
 	Weights []float64
+
+	version atomic.Uint64
+
+	memoMu      sync.Mutex
+	memoVersion uint64
+	memo        map[string]*memoEntry
+}
+
+// memoEntry is one derived structure, possibly still being built: done is
+// closed once val is set, so waiters on an in-flight build block on the
+// channel instead of on the relation-wide memo lock.
+type memoEntry struct {
+	done chan struct{}
+	val  any
 }
 
 // New returns an empty relation with the given schema.
 func New(name string, attrs ...string) *Relation {
-	return &Relation{Name: name, Attrs: attrs}
+	r := &Relation{Name: name, Attrs: attrs}
+	r.version.Store(nextStamp())
+	return r
 }
+
+// Version returns the relation's mutation stamp: it strictly increases every
+// time a row is added, and two relations never share a stamp, so (pointer
+// aside) the stamp identifies both the relation and its current contents.
+func (r *Relation) Version() uint64 { return r.version.Load() }
 
 // TryAdd appends a row with a weight and returns its index, rejecting arity
 // mismatches with an error. Data-ingest paths (CSV loading, uploads) use it
@@ -35,6 +78,7 @@ func (r *Relation) TryAdd(w float64, vals ...Value) (int, error) {
 	}
 	r.Rows = append(r.Rows, vals)
 	r.Weights = append(r.Weights, w)
+	r.version.Store(nextStamp())
 	return len(r.Rows) - 1, nil
 }
 
@@ -74,15 +118,95 @@ func (r *Relation) Project(row int, cols []int) []Value {
 	return out
 }
 
+// Memo returns the derived structure cached under key, building it with
+// build on first use. The whole memo table is dropped the moment the
+// relation mutates, so a cached structure always describes the current rows.
+// Memo is safe for concurrent readers: at most one builder runs per key and
+// everyone else shares its result, but the build itself runs outside the
+// memo lock, so an expensive build (a large join trie, say) never blocks
+// lookups or builds of other keys on the same relation.
+func (r *Relation) Memo(key string, build func() any) any {
+	r.memoMu.Lock()
+	if v := r.version.Load(); r.memo == nil || r.memoVersion != v {
+		r.memo = map[string]*memoEntry{}
+		r.memoVersion = v
+	}
+	if e, ok := r.memo[key]; ok {
+		r.memoMu.Unlock()
+		<-e.done // val is written before done is closed
+		return e.val
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	r.memo[key] = e
+	r.memoMu.Unlock()
+	defer close(e.done) // release waiters even if build panics
+	e.val = build()
+	return e.val
+}
+
+// Index is a hash index over the projection of a relation onto a column
+// subset: Groups[g] lists the ids of the rows sharing the g-th distinct
+// projection, in row order; Keys[g] is that projection's encoded key and
+// Lookup inverts it. Built in linear time with constant-time lookup
+// (Section 2.3); GroupIndex caches one per column subset.
+type Index struct {
+	Keys   []Key
+	Groups [][]int
+	Lookup map[Key]int
+}
+
+// colsSig encodes a column subset as a memo key fragment.
+func colsSig(prefix string, cols []int) string {
+	sig := prefix
+	for _, c := range cols {
+		sig += ":" + strconv.Itoa(c)
+	}
+	return sig
+}
+
+// GroupIndex returns the (lazily built, cached) hash index of r over cols.
+// The index is invalidated when the relation mutates; callers must treat it
+// as read-only.
+func (r *Relation) GroupIndex(cols []int) *Index {
+	return r.Memo(colsSig("groupidx", cols), func() any {
+		keys, groups, lookup := GroupBy(r, cols)
+		return &Index{Keys: keys, Groups: groups, Lookup: lookup}
+	}).(*Index)
+}
+
 // DB is a database: a set of named relations. Self-joins reference the same
 // *Relation from multiple query atoms.
 type DB struct {
 	rels  map[string]*Relation
 	order []string
+	id    uint64
+	stamp uint64
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
+func NewDB() *DB {
+	return &DB{rels: map[string]*Relation{}, id: nextStamp(), stamp: nextStamp()}
+}
+
+// ID returns a process-unique identifier for this DB instance (clones get
+// fresh ids). Compiled-plan caches key entries by (ID, Version) so two
+// databases that happen to share a version stamp can never collide.
+func (db *DB) ID() uint64 { return db.id }
+
+// Version returns a monotone version for the database's current contents:
+// it increases whenever a member relation gains a row (Add/TryAdd) and
+// whenever the membership changes (AddRelation, Alias), including
+// replacement by an older relation. Equal versions therefore imply identical
+// contents, which is what compiled-plan caches key on.
+func (db *DB) Version() uint64 {
+	v := db.stamp
+	for _, name := range db.order {
+		if rv := db.rels[name].Version(); rv > v {
+			v = rv
+		}
+	}
+	return v
+}
 
 // AddRelation registers r, replacing any previous relation of the same name.
 func (db *DB) AddRelation(r *Relation) {
@@ -90,6 +214,7 @@ func (db *DB) AddRelation(r *Relation) {
 		db.order = append(db.order, r.Name)
 	}
 	db.rels[r.Name] = r
+	db.stamp = nextStamp()
 }
 
 // Alias registers r under an additional name (self-joins over one physical
@@ -100,6 +225,7 @@ func (db *DB) Alias(name string, r *Relation) {
 		db.order = append(db.order, name)
 	}
 	db.rels[name] = r
+	db.stamp = nextStamp()
 }
 
 // Clone returns a shallow copy of the database: a fresh name table sharing
@@ -107,7 +233,12 @@ func (db *DB) Alias(name string, r *Relation) {
 // Alias) leaves the original untouched, enabling copy-on-write updates of
 // shared databases.
 func (db *DB) Clone() *DB {
-	c := &DB{rels: make(map[string]*Relation, len(db.rels)), order: append([]string(nil), db.order...)}
+	c := &DB{
+		rels:  make(map[string]*Relation, len(db.rels)),
+		order: append([]string(nil), db.order...),
+		id:    nextStamp(),
+		stamp: nextStamp(),
+	}
 	for k, v := range db.rels {
 		c.rels[k] = v
 	}

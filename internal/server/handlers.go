@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"anyk/internal/dataset"
+	"anyk/internal/engine"
 	"anyk/internal/relation"
 )
 
@@ -56,10 +57,20 @@ type Metrics struct {
 	RowsServed      atomic.Int64
 }
 
+// datasetEntry is one registry slot: the copy-on-write database plus its
+// compiled-plan cache. The cache object survives dataset replacement (its
+// counters are service-lifetime metrics) but is purged whenever the slot's
+// database changes, since every cached entry is keyed to a dead version at
+// that point.
+type datasetEntry struct {
+	db    *relation.DB
+	cache *engine.Cache
+}
+
 // Server is the HTTP query service: named datasets plus the session table.
 type Server struct {
 	mu       sync.RWMutex
-	datasets map[string]*relation.DB
+	datasets map[string]*datasetEntry
 
 	Sessions *Manager
 	Log      *slog.Logger
@@ -85,10 +96,22 @@ func New(sessions *Manager, logger *slog.Logger) *Server {
 		logger = slog.New(slog.DiscardHandler)
 	}
 	return &Server{
-		datasets: map[string]*relation.DB{},
+		datasets: map[string]*datasetEntry{},
 		Sessions: sessions,
 		Log:      logger,
 	}
+}
+
+// swapDataset installs db under name, reusing the slot's cache object (purged
+// — all its entries are keyed to the previous version) or creating one for a
+// new slot. Callers must hold s.mu.
+func (s *Server) swapDataset(name string, db *relation.DB) {
+	if old, ok := s.datasets[name]; ok {
+		old.cache.Purge()
+		s.datasets[name] = &datasetEntry{db: db, cache: old.cache}
+		return
+	}
+	s.datasets[name] = &datasetEntry{db: db, cache: engine.NewCache(0)}
 }
 
 // Handler returns the routed HTTP handler with logging/metrics middleware
@@ -197,7 +220,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	// upload may mutate it.
 	resp := describe(req.Name, db)
 	s.mu.Lock()
-	s.datasets[req.Name] = db
+	s.swapDataset(req.Name, db)
 	s.mu.Unlock()
 	s.Metrics.DatasetsCreated.Add(1)
 	s.Log.Info("dataset created", "name", req.Name, "kind", req.Kind)
@@ -214,7 +237,7 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(names)
 	out := make([]DatasetResponse, 0, len(names))
 	for _, n := range names {
-		out = append(out, describe(n, s.datasets[n]))
+		out = append(out, describe(n, s.datasets[n].db))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -246,15 +269,19 @@ func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Copy-on-write: registered DBs are never mutated, so readers (query
-	// opens mid-enumeration-build) need no lock beyond the map lookup.
+	// opens mid-enumeration-build) need no lock beyond the map lookup. The
+	// clone carries a fresh DB identity and version, so compiled plans keyed
+	// to the previous contents can never be replayed against the new ones;
+	// swapDataset additionally purges them to release the memory now.
 	s.mu.Lock()
-	db, ok := s.datasets[name]
-	if !ok {
+	var db *relation.DB
+	if entry, ok := s.datasets[name]; ok {
+		db = entry.db.Clone()
+	} else {
 		db = relation.NewDB()
 	}
-	db = db.Clone()
 	db.AddRelation(rel)
-	s.datasets[name] = db
+	s.swapDataset(name, db)
 	s.mu.Unlock()
 	s.Log.Info("relation uploaded", "dataset", name, "relation", relName, "rows", rel.Size())
 	writeJSON(w, http.StatusCreated, RelationInfo{Name: rel.Name, Attrs: rel.Attrs, Rows: rel.Size()})
@@ -267,16 +294,17 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	db, ok := s.datasets[req.Dataset]
+	entry, ok := s.datasets[req.Dataset]
 	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, CodeDatasetNotFound, fmt.Sprintf("dataset %q not found", req.Dataset))
 		return
 	}
-	// db is safe to read lock-free for however long the enumeration build
-	// takes: uploads replace the registered DB (copy-on-write), never mutate
-	// it.
-	o, err := openIter(db, &req, s.maxParallelism())
+	// entry.db is safe to read lock-free for however long the enumeration
+	// build takes: uploads replace the registered DB (copy-on-write), never
+	// mutate it. The per-dataset cache lets sessions over the same version
+	// share the compiled plan and DP graphs.
+	o, err := openIter(entry.db, entry.cache, &req, s.maxParallelism())
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
@@ -316,7 +344,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		Vars:      sess.It.Vars(),
 		Trees:     sess.It.Trees(),
 		Served:    sess.Served,
-		Done:      sess.Done,
+		Done:      sess.IsDone(),
 		Plan:      sess.It.Plan(),
 	}
 	sess.Mu.Unlock()
@@ -341,7 +369,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.Mu.Lock()
 	resp := NextResponse{ID: sess.ID, Rows: []WireRow{}}
-	for len(resp.Rows) < k && !sess.Done {
+	for len(resp.Rows) < k && !sess.IsDone() {
 		// Stop between rows if the client went away or the session was
 		// evicted/shut down mid-page.
 		if r.Context().Err() != nil || sess.Ctx.Err() != nil {
@@ -353,14 +381,14 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			// evicted session's iterator also stops, but that stream is
 			// truncated, not complete.
 			if sess.Ctx.Err() == nil {
-				sess.Done = true
+				sess.MarkDone()
 			}
 			break
 		}
 		sess.Served++
 		resp.Rows = append(resp.Rows, WireRow{Rank: sess.Served, Vals: vals, Weight: weight})
 	}
-	resp.Served, resp.Done = sess.Served, sess.Done
+	resp.Served, resp.Done = sess.Served, sess.IsDone()
 	sess.Mu.Unlock()
 	s.Metrics.RowsServed.Add(int64(len(resp.Rows)))
 	writeJSON(w, http.StatusOK, resp)
@@ -376,13 +404,25 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var cs engine.CacheStats
+	s.mu.RLock()
+	for _, entry := range s.datasets {
+		st := entry.cache.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Entries += st.Entries
+	}
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, MetricsResponse{
-		Requests:        s.Metrics.Requests.Load(),
-		Errors:          s.Metrics.Errors.Load(),
-		DatasetsCreated: s.Metrics.DatasetsCreated.Load(),
-		SessionsCreated: s.Sessions.Created(),
-		SessionsEvicted: s.Sessions.Evicted(),
-		SessionsLive:    s.Sessions.Len(),
-		RowsServed:      s.Metrics.RowsServed.Load(),
+		Requests:         s.Metrics.Requests.Load(),
+		Errors:           s.Metrics.Errors.Load(),
+		DatasetsCreated:  s.Metrics.DatasetsCreated.Load(),
+		SessionsCreated:  s.Sessions.Created(),
+		SessionsEvicted:  s.Sessions.Evicted(),
+		SessionsLive:     s.Sessions.Len(),
+		RowsServed:       s.Metrics.RowsServed.Load(),
+		PlanCacheHits:    cs.Hits,
+		PlanCacheMisses:  cs.Misses,
+		PlanCacheEntries: cs.Entries,
 	})
 }

@@ -167,8 +167,10 @@ func resolveParallelism(requested, cap int) (int, error) {
 }
 
 // openIter builds the type-erased ranked iterator a session will hold.
-// maxParallelism caps the per-session worker count.
-func openIter(db *relation.DB, req *QueryRequest, maxParallelism int) (*opened, error) {
+// cache (may be nil) is the dataset's compiled-plan cache, so sessions over
+// the same dataset version share preprocessing; maxParallelism caps the
+// per-session worker count.
+func openIter(db *relation.DB, cache *engine.Cache, req *QueryRequest, maxParallelism int) (*opened, error) {
 	q, err := resolveQuery(req)
 	if err != nil {
 		return nil, err
@@ -189,7 +191,7 @@ func openIter(db *relation.DB, req *QueryRequest, maxParallelism int) (*opened, 
 	if err != nil {
 		return nil, err
 	}
-	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par}
+	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par, Cache: cache}
 	it, err := dioidBuilders[dname](db, q, alg, opt)
 	if err != nil {
 		return nil, err

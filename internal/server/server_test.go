@@ -466,3 +466,82 @@ func TestCliqueFamilySession(t *testing.T) {
 		t.Fatalf("clique4 plan = %+v, want ghd route", open.Plan)
 	}
 }
+
+// TestPlanCacheSharedAcrossSessions: a second session on the same dataset
+// must reuse the first one's compiled plan — visible as plan-cache hits in
+// the metrics — and still serve the identical ranked stream.
+func TestPlanCacheSharedAcrossSessions(t *testing.T) {
+	_, ts := testServer(t, 16)
+	mustCreateDataset(t, ts.URL, "d")
+
+	first := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path4"})
+	cold := nextPage(t, ts.URL, first.ID, maxPageK)
+	var m1 MetricsResponse
+	if st := doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m1); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m1.PlanCacheMisses == 0 || m1.PlanCacheEntries == 0 {
+		t.Fatalf("after a cold session: %+v, want misses and entries", m1)
+	}
+
+	second := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Query: "path4"})
+	warm := nextPage(t, ts.URL, second.ID, maxPageK)
+	var m2 MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m2)
+	if m2.PlanCacheHits <= m1.PlanCacheHits {
+		t.Fatalf("warm session produced no cache hits: %+v -> %+v", m1, m2)
+	}
+	if len(warm.Rows) != len(cold.Rows) {
+		t.Fatalf("warm stream %d rows, cold %d", len(warm.Rows), len(cold.Rows))
+	}
+	for i := range warm.Rows {
+		if weightOf(t, warm.Rows[i]) != weightOf(t, cold.Rows[i]) {
+			t.Fatalf("rank %d: warm %v cold %v", i+1, warm.Rows[i].Weight, cold.Rows[i].Weight)
+		}
+	}
+}
+
+// TestPlanCacheInvalidatedByUpload: replacing a relation via upload must
+// flush the dataset's cache, and a new session must see the new rows.
+func TestPlanCacheInvalidatedByUpload(t *testing.T) {
+	_, ts := testServer(t, 16)
+	upload := func(rel, body string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/datasets/up/relations/"+rel+"?attrs=A,B", "text/csv", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("upload %s: %v", rel, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %s: status %d", rel, resp.StatusCode)
+		}
+	}
+	upload("R1", "1,10,1.0\n")
+	upload("R2", "10,100,2.0\n")
+	open := func() NextResponse {
+		q := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "up", Datalog: "Q(*) :- R1(x,y), R2(y,z)"})
+		return nextPage(t, ts.URL, q.ID, 10)
+	}
+	before := open()
+	if len(before.Rows) != 1 {
+		t.Fatalf("before upload: %d rows", len(before.Rows))
+	}
+	warmed := open() // fills and then reuses the cache
+	if len(warmed.Rows) != 1 {
+		t.Fatalf("warm session: %d rows", len(warmed.Rows))
+	}
+	var m1 MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m1)
+
+	// Replace R2 with two matching rows: the next session must see both.
+	upload("R2", "10,100,2.0\n10,101,4.0\n")
+	var m2 MetricsResponse
+	doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m2)
+	if m2.PlanCacheEntries != 0 {
+		t.Fatalf("upload left %d stale cache entries", m2.PlanCacheEntries)
+	}
+	after := open()
+	if len(after.Rows) != 2 {
+		t.Fatalf("after upload: %d rows, want 2", len(after.Rows))
+	}
+}

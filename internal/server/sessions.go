@@ -25,11 +25,16 @@ type Session struct {
 	Dioid     string
 	Algorithm string
 
-	// Mu guards It, Served and Done.
+	// Mu guards It and Served.
 	Mu     sync.Mutex
 	It     Iter
 	Served int
-	Done   bool
+
+	// done records that the iterator is exhausted. It is an atomic (not
+	// Mu-guarded) so the manager can read it during Acquire without taking
+	// Mu — a handler may hold Mu for a whole page, and Acquire runs under
+	// the manager lock.
+	done atomic.Bool
 
 	// Ctx is canceled when the session is evicted or the manager shuts down;
 	// long next loops poll it between rows.
@@ -40,6 +45,15 @@ type Session struct {
 	lastUsed time.Time
 	elem     *list.Element
 }
+
+// MarkDone records that the session's stream is exhausted. From this point
+// the manager stops refreshing its TTL and LRU position: a drained session
+// holds no future value, so it expires on the schedule set by its last
+// productive use instead of pinning table capacity.
+func (s *Session) MarkDone() { s.done.Store(true) }
+
+// IsDone reports whether the stream is exhausted.
+func (s *Session) IsDone() bool { return s.done.Load() }
 
 // Manager owns the session table: capacity-bounded LRU with TTL expiry.
 // All exported methods are safe for concurrent use.
@@ -119,6 +133,11 @@ func (m *Manager) Create(it Iter, queryName, dioidName, algName string) *Session
 // caller locks s.Mu itself for however long it iterates; eviction concurrent
 // with iteration is safe because eviction only cancels s.Ctx and drops the
 // table entry — it never touches iterator state.
+//
+// Drained sessions (IsDone) are returned but not refreshed: status polls on
+// a finished enumeration must not keep pushing its expiry forward or bump it
+// ahead of live sessions in the LRU, or finished sessions would pin table
+// capacity indefinitely.
 func (m *Manager) Acquire(id string) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -131,8 +150,10 @@ func (m *Manager) Acquire(id string) (*Session, error) {
 		m.evictLocked(s)
 		return nil, ErrSessionNotFound
 	}
-	s.lastUsed = now
-	m.lru.MoveToFront(s.elem)
+	if !s.IsDone() {
+		s.lastUsed = now
+		m.lru.MoveToFront(s.elem)
+	}
 	return s, nil
 }
 

@@ -99,6 +99,50 @@ func TestManagerSweep(t *testing.T) {
 	}
 }
 
+// A drained session must expire TTL-wise on the schedule set by its last
+// productive use: status polls on a Done session must not refresh it.
+func TestManagerDrainedSessionExpiresOnSchedule(t *testing.T) {
+	m := NewManager(context.Background(), 10, time.Minute)
+	now := time.Unix(1000, 0)
+	m.now = func() time.Time { return now }
+
+	s := m.Create(newStub(), "q", "min", "Take2")
+	s.MarkDone()
+	// Poll every 20s: each Acquire succeeds while within the TTL of the
+	// session's creation, but none of them may push the expiry forward.
+	for i := 0; i < 3; i++ {
+		now = now.Add(20 * time.Second)
+		if _, err := m.Acquire(s.ID); err != nil {
+			t.Fatalf("Acquire at +%ds: %v", 20*(i+1), err)
+		}
+	}
+	now = now.Add(1 * time.Second) // 61s after creation, 1s after last poll
+	if _, err := m.Acquire(s.ID); err != ErrSessionNotFound {
+		t.Fatalf("drained session still alive 61s after creation: err=%v", err)
+	}
+}
+
+// A drained session must also sink in the LRU: when capacity pressure hits,
+// it is evicted before live sessions even if it was acquired more recently.
+func TestManagerDrainedSessionLosesLRUProtection(t *testing.T) {
+	m := NewManager(context.Background(), 2, 0)
+	a := m.Create(newStub(), "qa", "min", "Take2")
+	b := m.Create(newStub(), "qb", "min", "Take2")
+	a.MarkDone()
+	// Touch the drained a *after* b: without the fix this would move a to
+	// the front and sacrifice the live b.
+	if _, err := m.Acquire(a.ID); err != nil {
+		t.Fatalf("Acquire(a): %v", err)
+	}
+	m.Create(newStub(), "qc", "min", "Take2")
+	if _, err := m.Acquire(a.ID); err != ErrSessionNotFound {
+		t.Fatalf("drained a should be the LRU victim, got err=%v", err)
+	}
+	if _, err := m.Acquire(b.ID); err != nil {
+		t.Fatalf("live b was evicted instead: %v", err)
+	}
+}
+
 func TestManagerRemoveAndClose(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

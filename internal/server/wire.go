@@ -130,15 +130,21 @@ type NextResponse struct {
 	Done   bool      `json:"done"`
 }
 
-// MetricsResponse is the GET /v1/metrics snapshot.
+// MetricsResponse is the GET /v1/metrics snapshot. The plan-cache counters
+// aggregate over every dataset's compiled-plan cache: hits are sessions that
+// reused another session's preprocessing (plans and DP graphs), entries the
+// currently memoized values.
 type MetricsResponse struct {
-	Requests        int64 `json:"requests"`
-	Errors          int64 `json:"errors"`
-	DatasetsCreated int64 `json:"datasets_created"`
-	SessionsCreated int64 `json:"sessions_created"`
-	SessionsEvicted int64 `json:"sessions_evicted"`
-	SessionsLive    int   `json:"sessions_live"`
-	RowsServed      int64 `json:"rows_served"`
+	Requests         int64 `json:"requests"`
+	Errors           int64 `json:"errors"`
+	DatasetsCreated  int64 `json:"datasets_created"`
+	SessionsCreated  int64 `json:"sessions_created"`
+	SessionsEvicted  int64 `json:"sessions_evicted"`
+	SessionsLive     int   `json:"sessions_live"`
+	RowsServed       int64 `json:"rows_served"`
+	PlanCacheHits    int64 `json:"plan_cache_hits"`
+	PlanCacheMisses  int64 `json:"plan_cache_misses"`
+	PlanCacheEntries int   `json:"plan_cache_entries"`
 }
 
 // writeJSON writes v with the given status; encoding failures are reported on

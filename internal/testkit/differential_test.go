@@ -66,6 +66,34 @@ func TestDifferentialParallelismSweep(t *testing.T) {
 	}
 }
 
+// TestDifferentialCached runs the cached differential: with a shared
+// compiled-plan cache, cold and warm sessions at every parallelism setting
+// must emit streams bit-identical to the uncached serial Batch reference,
+// on every decomposition route.
+func TestDifferentialCached(t *testing.T) {
+	r := rand.New(rand.NewSource(4007))
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for trial := 0; trial < 2; trial++ {
+				q, db := Instance(t, fam, r)
+				DiffCached(t, db, q, dioid.Tropical{}, 1, 2, 4)
+			}
+		})
+	}
+}
+
+// TestDifferentialCachedLex repeats the cached differential under the
+// lexicographic dioid: the cache key must separate dioid instantiations, and
+// vector weights must replay identically from memoized graphs.
+func TestDifferentialCachedLex(t *testing.T) {
+	r := rand.New(rand.NewSource(4008))
+	for _, fam := range []string{"path", "cycle"} {
+		q, db := Instance(t, fam, r)
+		DiffCached(t, db, q, dioid.NewLex(len(q.Atoms)), 1, 4)
+	}
+}
+
 // TestDifferentialEmptyOutput: empty joins must stay empty on every path,
 // including parallel shards that all come up dead.
 func TestDifferentialEmptyOutput(t *testing.T) {

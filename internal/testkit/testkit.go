@@ -84,9 +84,16 @@ func RandomDB(r *rand.Rand, q *query.CQ, rows, dom int) *relation.DB {
 // returns the full ranked stream.
 func Collect[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, parallelism int) []core.Row[W] {
 	t.Helper()
-	it, err := engine.Enumerate[W](db, q, d, alg, engine.Options{Parallelism: parallelism})
+	return CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: parallelism})
+}
+
+// CollectOpt is Collect with explicit engine options (cache, dedup,
+// semantics, parallelism).
+func CollectOpt[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt engine.Options) []core.Row[W] {
+	t.Helper()
+	it, err := engine.Enumerate[W](db, q, d, alg, opt)
 	if err != nil {
-		t.Fatalf("testkit: enumerate %s/%v/p=%d: %v", q.Name, alg, parallelism, err)
+		t.Fatalf("testkit: enumerate %s/%v/p=%d: %v", q.Name, alg, opt.Parallelism, err)
 	}
 	defer it.Close()
 	return it.Drain(0)
@@ -110,6 +117,31 @@ func Diff[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], p
 			}
 			got := Collect(t, db, q, d, alg, p)
 			CompareRanked(t, fmt.Sprintf("%s/%v/p=%d", q.Name, alg, p), d, got, ref)
+		}
+	}
+}
+
+// DiffCached asserts that enumeration through a shared compiled-plan cache
+// is invisible in the output: for every ranked algorithm at every
+// parallelism in ps, both the cold (cache-filling) session and a warm
+// session replaying the memoized plan and graphs must emit exactly the
+// ranked stream of the serial, uncached Batch reference. One cache is
+// shared across all algorithms and parallelism settings, so the plan layer
+// (shared) and the graph layer (per shard layout) are both exercised.
+func DiffCached[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 4}
+	}
+	cache := engine.NewCache(0)
+	ref := Collect(t, db, q, d, core.Batch, 1)
+	for _, alg := range core.Algorithms {
+		for _, p := range ps {
+			opt := engine.Options{Parallelism: p, Cache: cache}
+			cold := CollectOpt(t, db, q, d, alg, opt)
+			CompareRanked(t, fmt.Sprintf("%s/%v/p=%d/cold", q.Name, alg, p), d, cold, ref)
+			warm := CollectOpt(t, db, q, d, alg, opt)
+			CompareRanked(t, fmt.Sprintf("%s/%v/p=%d/warm", q.Name, alg, p), d, warm, ref)
 		}
 	}
 }
