@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -67,10 +66,11 @@ func main() {
 	}
 	fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
 	start := time.Now()
-	rows, vars, plan, err := run(db, q, alg, *orderFlag, *kFlag)
+	rows, it, err := run(db, q, alg, *orderFlag, *kFlag)
 	if err != nil {
 		fatal(err)
 	}
+	vars, plan := it.Vars, it.Plan
 	elapsed := time.Since(start)
 	if plan != nil {
 		fmt.Fprintf(summary, "plan: route=%s width=%d trees=%d", plan.Route, plan.Width, plan.Trees)
@@ -85,15 +85,18 @@ func main() {
 	}
 	switch {
 	case *jsonFlag:
-		if err := writeJSON(rows, vars); err != nil {
+		if err := writeJSON(rows, it); err != nil {
 			fatal(err)
 		}
 	case !*quietFlag:
 		fmt.Printf("%-6s %-12s %s\n", "rank", "weight", strings.Join(vars, " "))
 		for i, r := range rows {
-			vals := make([]string, len(r.Vals))
-			for j, v := range r.Vals {
-				vals[j] = strconv.FormatInt(v, 10)
+			// Decode dense codes back to logical values (identity for the
+			// generated int64 datasets, strings/floats for typed CSV data).
+			logical := it.TypedVals(r.Vals)
+			vals := make([]string, len(logical))
+			for j, v := range logical {
+				vals[j] = fmt.Sprint(v)
 			}
 			fmt.Printf("%-6d %-12.2f %s\n", i+1, r.Weight, strings.Join(vals, " "))
 		}
@@ -101,21 +104,23 @@ func main() {
 	fmt.Fprintf(summary, "%d results in %v (TTF included)\n", len(rows), elapsed)
 }
 
-// jsonRow is the NDJSON row shape of -json: one object per line, values keyed
-// by output variable so downstream scripts need no schema knowledge.
+// jsonRow is the NDJSON row shape of -json: one object per line, logical
+// values (numbers or strings, decoded through the dataset's dictionaries)
+// keyed by output variable so downstream scripts need no schema knowledge.
 type jsonRow struct {
-	Rank   int              `json:"rank"`
-	Weight float64          `json:"weight"`
-	Vals   map[string]int64 `json:"vals"`
+	Rank   int            `json:"rank"`
+	Weight float64        `json:"weight"`
+	Vals   map[string]any `json:"vals"`
 }
 
-func writeJSON(rows []core.Row[float64], vars []string) error {
+func writeJSON(rows []core.Row[float64], it *engine.Iterator[float64]) error {
 	bw := bufio.NewWriter(os.Stdout)
 	enc := json.NewEncoder(bw)
 	for i, r := range rows {
-		vals := make(map[string]int64, len(vars))
-		for j, v := range vars {
-			vals[v] = r.Vals[j]
+		logical := it.TypedVals(r.Vals)
+		vals := make(map[string]any, len(it.Vars))
+		for j, v := range it.Vars {
+			vals[v] = logical[j]
 		}
 		if err := enc.Encode(jsonRow{Rank: i + 1, Weight: r.Weight, Vals: vals}); err != nil {
 			return err
@@ -124,7 +129,7 @@ func writeJSON(rows []core.Row[float64], vars []string) error {
 	return bw.Flush()
 }
 
-func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], []string, *engine.PlanInfo, error) {
+func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], *engine.Iterator[float64], error) {
 	var d dioid.Dioid[float64]
 	switch order {
 	case "min":
@@ -132,14 +137,14 @@ func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) 
 	case "max":
 		d = dioid.MaxPlus{}
 	default:
-		return nil, nil, nil, fmt.Errorf("unknown order %q", order)
+		return nil, nil, fmt.Errorf("unknown order %q", order)
 	}
 	it, err := engine.Enumerate[float64](db, q, d, alg, engine.Options{Parallelism: *parFlag})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, err
 	}
 	defer it.Close()
-	return it.Drain(k), it.Vars, it.Plan, nil
+	return it.Drain(k), it, nil
 }
 
 func fatal(err error) {

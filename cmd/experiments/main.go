@@ -283,6 +283,112 @@ var experiments = []experiment{
 	{"par1", "fig10a workload at parallelism 1/2/4/8: sharded any-k speedup curves", par1},
 
 	{"cache1", "compiled-plan cache: cold vs warm session TTF on the fig10a dataset", cache1},
+
+	{"typed1", "typed ingest: dictionary-encoded string dataset vs pre-encoded int64 twin (4-path)", typed1},
+}
+
+// typed1 measures what the typed value domain costs: a 4-path workload over
+// string-keyed weighted edges is ingested through the sniffing,
+// dictionary-encoding CSV path and enumerated; the identical physical
+// dataset, hand-encoded as int64 codes, is run alongside. The enumeration
+// phases must produce identical ranked streams (verified here, not assumed)
+// and near-identical timings — the encode cost is paid once at ingest.
+// Series land in BENCH_results.json under "typed1" with "/typed" and
+// "/int64" suffixes (TTF = ingest + first result).
+func typed1() {
+	n := sc(2000)
+	fmt.Println("== typed1: dictionary-encoded ingest vs pre-encoded int64 (4-path) ==")
+	// Render a deterministic string-keyed edge CSV: node ids become labels.
+	base := dataset.Uniform(4, n, *seedFlag)
+	q := query.PathQuery(4)
+	csvs := make(map[string]string, 4)
+	for _, name := range base.Names() {
+		r := base.Relation(name)
+		var sb strings.Builder
+		for i, row := range r.Rows {
+			fmt.Fprintf(&sb, "user-%d,user-%d,%g\n", row[0], row[1], r.Weights[i])
+		}
+		csvs[name] = sb.String()
+	}
+	fmt.Printf("%-12s %14s %14s %14s %10s\n", "algorithm", "ingest", "TTF(+ingest)", "TT(all)", "|out|")
+	var series []bench.Series
+	for _, alg := range []core.Algorithm{core.Take2, core.Recursive, core.Lazy} {
+		type leg struct {
+			name string
+			load func() (*relation.DB, error)
+		}
+		legs := []leg{
+			{"typed", func() (*relation.DB, error) {
+				db := relation.NewDB()
+				for name, body := range csvs {
+					rel, err := relation.LoadCSVTyped(strings.NewReader(body), db.Dict(), name, "A1", "A2")
+					if err != nil {
+						return nil, err
+					}
+					db.AddRelation(rel)
+				}
+				return db, nil
+			}},
+			{"int64", func() (*relation.DB, error) {
+				// The hand-encoded twin: raw int64 values, no dictionary.
+				db := relation.NewDB()
+				for _, name := range base.Names() {
+					src := base.Relation(name)
+					r := relation.New(name, src.Attrs...)
+					for i, row := range src.Rows {
+						r.Add(src.Weights[i], row...)
+					}
+					db.AddRelation(r)
+				}
+				return db, nil
+			}},
+		}
+		var outs [2]int
+		var sums [2]float64
+		for li, l := range legs {
+			start := time.Now()
+			db, err := l.load()
+			if err != nil {
+				fmt.Printf("typed1: %v\n", err)
+				return
+			}
+			ingest := time.Since(start).Seconds()
+			it, err := engine.Enumerate[float64](db, q, dioid.Tropical{}, alg,
+				engine.Options{Parallelism: maxInt(1, *parFlag)})
+			if err != nil {
+				fmt.Printf("typed1: %v\n", err)
+				return
+			}
+			count := 0
+			ttf := 0.0
+			for {
+				row, ok := it.Next()
+				if !ok {
+					break
+				}
+				if count == 0 {
+					ttf = time.Since(start).Seconds()
+				}
+				count++
+				sums[li] += row.Weight
+			}
+			total := time.Since(start).Seconds()
+			it.Close()
+			outs[li] = count
+			fmt.Printf("%-12s %13.4fs %13.4fs %13.4fs %10d  (%s)\n", alg.String(), ingest, ttf, total, count, l.name)
+			series = append(series, bench.Series{
+				Algorithm: alg.String() + "/" + l.name,
+				TTF:       ttf, Total: count,
+				Points: []bench.Point{{K: count, Seconds: total}},
+			})
+		}
+		if outs[0] != outs[1] || sums[0] != sums[1] {
+			fmt.Printf("typed1: OUTPUT MISMATCH typed=(%d, Σw=%g) int64=(%d, Σw=%g)\n", outs[0], sums[0], outs[1], sums[1])
+			return
+		}
+	}
+	fmt.Println()
+	record("typed1", series)
 }
 
 // cache1 measures what the compiled-plan cache buys a session over a shared

@@ -36,16 +36,27 @@ func main() {
 		log.Fatal(err)
 	}
 	defer it.Close()
-	top := it.Drain(5)
+	// Page with Next, not Drain: a truncating Drain is a "top k and stop"
+	// call that closes the iterator, while Next keeps the stream live for
+	// more-on-demand paging.
 	fmt.Printf("top 5 influential 4-paths (of an enormous result space) in %v:\n", time.Since(start))
-	for i, row := range top {
+	for i := 0; i < 5; i++ {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
 		fmt.Printf("  #%d  influence=%.4f  %v -> %v -> %v -> %v -> %v\n",
 			i+1, row.Weight, row.Vals[0], row.Vals[1], row.Vals[2], row.Vals[3], row.Vals[4])
 	}
 
 	// Any-k means "no k chosen up front": keep pulling while interactive
 	// latency allows.
-	more := it.Drain(1000)
+	more := 0
+	for ; more < 1000; more++ {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
 	fmt.Printf("...continued streaming %d more results, total elapsed %v\n",
-		len(more), time.Since(start))
+		more, time.Since(start))
 }

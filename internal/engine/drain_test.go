@@ -1,7 +1,9 @@
 package engine
 
 import (
+	"runtime"
 	"testing"
+	"time"
 
 	"anyk/internal/core"
 	"anyk/internal/dioid"
@@ -62,9 +64,74 @@ func TestDrainKBeyondResultCountStopsCleanly(t *testing.T) {
 	}
 }
 
+// TestDrainTruncatingReleasesShardProducers pins the goroutine lifecycle of
+// a truncating drain: Drain(k) stopping before exhaustion on a parallel
+// iterator must close it, or the shard producer goroutines stay parked on
+// their full block channels forever (each session would leak its shard
+// count in goroutines).
+func TestDrainTruncatingReleasesShardProducers(t *testing.T) {
+	db := relation.NewDB()
+	r1 := relation.New("R1", "A", "B")
+	r2 := relation.New("R2", "B", "C")
+	for i := 0; i < 300; i++ {
+		r1.Add(float64(i%17), int64(i), int64(i%5))
+		r2.Add(float64(i%13), int64(i%5), int64(i))
+	}
+	db.AddRelation(r1)
+	db.AddRelation(r2)
+	q := query.PathQuery(2)
+
+	before := runtime.NumGoroutine()
+	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Take2, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Shards < 2 {
+		t.Fatalf("want a sharded parallel iterator, got %d shards", it.Shards)
+	}
+	if rows := it.Drain(1); len(rows) != 1 {
+		t.Fatalf("Drain(1) = %d rows, want 1", len(rows))
+	}
+	// The producers unblock asynchronously once Drain's close fires; poll
+	// until the goroutine count returns to the pre-iterator baseline.
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines alive after truncating Drain, baseline %d: shard producers leaked",
+				runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A truncating drain on every algorithm × parallelism setting must release
+// its producers; run a small matrix since the iterators differ per algorithm.
+func TestDrainTruncatingMatrixNoLeak(t *testing.T) {
+	db, q := drainDB()
+	before := runtime.NumGoroutine()
+	for _, alg := range core.Algorithms {
+		for _, p := range []int{2, 4} {
+			it, err := Enumerate[float64](db, q, dioid.Tropical{}, alg, Options{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			it.Drain(1)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d goroutines alive, baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Serial iterators (Parallelism 1, no producers to release) keep supporting
+// repeated truncating drains as a paging idiom: Close is a no-op for them.
 func TestDrainPagesPreserveRankOrder(t *testing.T) {
 	db, q := drainDB()
-	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy)
+	it, err := Enumerate[float64](db, q, dioid.Tropical{}, core.Lazy, Options{Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

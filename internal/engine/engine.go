@@ -113,7 +113,15 @@ type BagInfo struct {
 type Iterator[W any] struct {
 	// Vars is the output schema (order of Row.Vals).
 	Vars []string
-	it   core.RowIter[W]
+	// Types is the logical type of each output variable (Vars order): rows
+	// carry dense int64 codes, and Types says what TypedVals decodes them to.
+	// Nil for untyped iterators — all-int64 schemas and iterators built
+	// without a database (EnumerateUnion) — matching Typed() == false.
+	Types []relation.Type
+	// dicts resolves encoded columns per output variable; nil entries (and a
+	// nil slice) mean the column's codes are its values.
+	dicts []*relation.Dictionary
+	it    core.RowIter[W]
 	// Trees reports how many T-DP problems the query decomposed into
 	// (1 for acyclic queries, ℓ+1 for ℓ-cycles).
 	Trees int
@@ -137,16 +145,21 @@ func (it *Iterator[W]) Close() {
 	}
 }
 
-// Drain collects up to k rows (k ≤ 0 drains everything).
+// Drain collects up to k rows (k ≤ 0 drains everything). A truncating drain
+// (k > 0 reached with the stream not exhausted) closes the iterator so the
+// shard producer goroutines of a parallel session are released instead of
+// leaking — Drain is a "take the top k and stop" call, not a paging cursor.
+// To page incrementally through a parallel iterator, call Next.
 func (it *Iterator[W]) Drain(k int) []core.Row[W] {
 	var out []core.Row[W]
 	for k <= 0 || len(out) < k {
 		r, ok := it.Next()
 		if !ok {
-			break
+			return out // exhausted: producers already wound down
 		}
 		out = append(out, r)
 	}
+	it.Close()
 	return out
 }
 
@@ -162,11 +175,16 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	if err != nil {
 		return nil, err
 	}
+	bindings, err := typedSchema(db, q, prep.outVars)
+	if err != nil {
+		return nil, err
+	}
 	opt.planKey = planKey
 	it, err := EnumerateUnion[W](d, prep.trees, prep.outVars, alg, opt)
 	if err != nil {
 		return nil, fmt.Errorf("query %s: %s plan (width %d) did not lower: %w", q.Name, prep.plan.Route, prep.plan.Width, err)
 	}
+	bindTypes(it, bindings)
 	info := prep.plan // copy the cached skeleton before stamping per-run fields
 	info.Trees = it.Trees
 	it.Plan = annotateParallel(&info, it, opt)

@@ -2,9 +2,9 @@ package relation
 
 import (
 	"bufio"
-	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -60,33 +60,60 @@ func splitFields(line string, sep csvSep) ([]string, error) {
 // csvSkip reports whether a (trimmed) line carries no data.
 func csvSkip(line string) bool { return line == "" || strings.HasPrefix(line, "#") }
 
-// parseField validates one field before numeric parsing: empty fields (from
-// adjacent commas) and whitespace inside a comma-separated field (a mixed
-// separator) are rejected with explicit errors rather than left to the
-// number parser's less helpful ones.
-func parseField(field string, sep csvSep) (string, error) {
+// parseField validates one field before value parsing: empty fields (from
+// adjacent commas) are always rejected with explicit errors rather than left
+// to the number parser's less helpful ones. In strict (numeric-only) mode,
+// whitespace inside a comma-separated field is also rejected as a likely
+// mixed separator; the typed loaders are lenient there, because string
+// values like "New York" legitimately contain spaces.
+func parseField(field string, sep csvSep, strictWS bool) (string, error) {
 	if field == "" {
 		return "", fmt.Errorf("empty field")
 	}
-	if sep == sepComma && strings.ContainsAny(field, " \t") {
+	if strictWS && sep == sepComma && strings.ContainsAny(field, " \t") {
 		return "", fmt.Errorf("whitespace inside comma-separated field %q (mixed separators?)", field)
 	}
 	return field, nil
 }
 
-// LoadCSV reads a weighted relation from comma- or whitespace-separated
-// text: one row per line, all columns integer values except the last, which
-// is the float64 tuple weight. Lines starting with '#' and blank lines are
-// skipped. The separator is sniffed from the first data row and every later
-// row must use the same one; comma rows keep empty fields, which are
-// rejected as errors rather than collapsed. The schema must match the number
-// of value columns.
-func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
-	rel := New(name, attrs...)
+// checkFinite rejects the floats that break the enumeration machinery,
+// whether used as weights or as dictionary-encoded values: NaN is unordered
+// (it poisons the dioid order, every heap invariant, and — being unequal to
+// itself — equality joins and interning), and ±Inf swallows any weight added
+// to it.
+func checkFinite(f float64) error {
+	if math.IsNaN(f) {
+		return fmt.Errorf("NaN is not supported (unordered under every dioid, never equal to itself)")
+	}
+	if math.IsInf(f, 0) {
+		return fmt.Errorf("infinite values are not supported")
+	}
+	return nil
+}
+
+// csvRow is one validated data row: its 1-based line number (for errors) and
+// its separator-checked, non-empty fields.
+type csvRow struct {
+	line   int
+	fields []string
+}
+
+// scanRows reads every data row of a CSV body, sniffing the separator from
+// the first row and enforcing it (and the expected field count) on the rest,
+// and hands each validated row to emit — so single-pass loaders (the int64
+// paths) never hold more than one row, while the type-sniffing loader's emit
+// collects rows for its second pass. arity is the number of value columns;
+// arity < 0 infers it from the first data row (its field count minus the
+// trailing weight). All structural validation — separator mixing, field
+// counts, empty fields — happens here, so every loader shares one error
+// surface with line/column numbers. strictWS is the numeric-only loaders'
+// whitespace-inside-comma-field rejection (see parseField).
+func scanRows(r io.Reader, name string, arity int, strictWS bool, emit func(row csvRow) error) (nvals int, err error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	lineNo := 0
 	sep := sepUnknown
+	nvals = arity
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -98,84 +125,242 @@ func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
 		}
 		fields, err := splitFields(line, sep)
 		if err != nil {
-			return nil, fmt.Errorf("%s line %d: %w", name, lineNo, err)
+			return 0, fmt.Errorf("%s line %d: %w", name, lineNo, err)
 		}
-		if len(fields) != len(attrs)+1 {
-			return nil, fmt.Errorf("%s line %d: %d %s-separated fields, want %d values + weight", name, lineNo, len(fields), sep, len(attrs))
-		}
-		vals := make([]Value, len(attrs))
-		for i := range attrs {
-			f, err := parseField(fields[i], sep)
-			if err != nil {
-				return nil, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
+		if nvals < 0 {
+			if len(fields) < 2 {
+				return 0, fmt.Errorf("%s: first data row has %d fields, want at least 1 value + weight", name, len(fields))
 			}
-			v, err := strconv.ParseInt(f, 10, 64)
-			if err != nil {
-				return nil, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
+			nvals = len(fields) - 1
+		}
+		if len(fields) != nvals+1 {
+			return 0, fmt.Errorf("%s line %d: %d %s-separated fields, want %d values + weight", name, lineNo, len(fields), sep, nvals)
+		}
+		for i, f := range fields {
+			if _, err := parseField(f, sep, strictWS); err != nil {
+				if i == nvals {
+					return 0, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
+				}
+				return 0, fmt.Errorf("%s line %d col %d: %w", name, lineNo, i+1, err)
 			}
-			vals[i] = v
 		}
-		f, err := parseField(fields[len(attrs)], sep)
-		if err != nil {
-			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
-		}
-		w, err := strconv.ParseFloat(f, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%s line %d weight: %w", name, lineNo, err)
-		}
-		if _, err := rel.TryAdd(w, vals...); err != nil {
-			return nil, fmt.Errorf("%s line %d: %w", name, lineNo, err)
+		if err := emit(csvRow{line: lineNo, fields: fields}); err != nil {
+			return 0, err
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return 0, err
 	}
-	return rel, nil
+	if nvals < 0 {
+		return 0, fmt.Errorf("%s: no data rows", name)
+	}
+	return nvals, nil
+}
+
+// parseWeight parses and validates the trailing weight field of a row.
+func parseWeight(name string, row csvRow, nvals int) (float64, error) {
+	w, err := strconv.ParseFloat(row.fields[nvals], 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s line %d weight: %w", name, row.line, err)
+	}
+	if err := checkFinite(w); err != nil {
+		return 0, fmt.Errorf("%s line %d weight: %w", name, row.line, err)
+	}
+	return w, nil
+}
+
+// LoadCSV reads a weighted relation from comma- or whitespace-separated
+// text: one row per line, all columns integer values except the last, which
+// is the finite float64 tuple weight (NaN and ±Inf are rejected with the
+// offending line number). Lines starting with '#' and blank lines are
+// skipped. The separator is sniffed from the first data row and every later
+// row must use the same one; comma rows keep empty fields, which are
+// rejected as errors rather than collapsed. The schema must match the number
+// of value columns. For data with string or float value columns use
+// LoadCSVTyped.
+func LoadCSV(r io.Reader, name string, attrs ...string) (*Relation, error) {
+	return loadInt64(r, name, attrs, false)
 }
 
 // LoadCSVAuto is LoadCSV with the schema inferred from the data: the arity is
 // taken from the first data row (fields minus the trailing weight) and the
 // attributes are named A1..Ak. Empty fields count toward the arity — `1,,2,.5`
 // infers three value columns and then fails loudly on the empty one instead
-// of inferring a wrong arity and shifting columns. It serves callers that
-// receive rows without a declared schema, such as the HTTP upload endpoint.
+// of inferring a wrong arity and shifting columns.
 func LoadCSVAuto(r io.Reader, name string) (*Relation, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var peeked []byte
-	for {
-		line, err := br.ReadBytes('\n')
-		peeked = append(peeked, line...)
-		trimmed := strings.TrimSpace(string(line))
-		if !csvSkip(trimmed) {
-			fields, splitErr := splitFields(trimmed, sniffSep(trimmed))
-			if splitErr != nil { // unreachable: the sniffed separator always matches
-				return nil, fmt.Errorf("%s: %w", name, splitErr)
-			}
-			if len(fields) < 2 {
-				return nil, fmt.Errorf("%s: first data row has %d fields, want at least 1 value + weight", name, len(fields))
-			}
-			attrs := make([]string, len(fields)-1)
-			for i := range attrs {
-				attrs[i] = fmt.Sprintf("A%d", i+1)
-			}
-			return LoadCSV(io.MultiReader(bytes.NewReader(peeked), br), name, attrs...)
-		}
-		if err != nil {
-			if err == io.EOF {
-				return nil, fmt.Errorf("%s: no data rows", name)
-			}
-			return nil, err
-		}
-	}
+	return loadInt64(r, name, nil, true)
 }
 
-// WriteCSV writes the relation in the format LoadCSV reads.
+// loadInt64 streams scanned rows straight into an int64-only relation — one
+// pass, one live row at a time, so even cap-sized uploads cost memory
+// proportional to the relation, not to the text plus the relation (only the
+// type-sniffing typed loader needs to see all rows before encoding). With
+// infer the schema is taken from the first data row.
+func loadInt64(r io.Reader, name string, attrs []string, infer bool) (*Relation, error) {
+	arity := len(attrs)
+	if infer {
+		arity = -1
+	}
+	var rel *Relation
+	addRow := func(row csvRow) error {
+		if rel == nil {
+			a := attrs
+			if infer {
+				a = autoAttrs(len(row.fields) - 1)
+			}
+			rel = New(name, a...)
+		}
+		vals := make([]Value, rel.Arity())
+		for i := range vals {
+			v, err := strconv.ParseInt(row.fields[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("%s line %d col %d: %w", name, row.line, i+1, err)
+			}
+			vals[i] = v
+		}
+		w, err := parseWeight(name, row, rel.Arity())
+		if err != nil {
+			return err
+		}
+		if _, err := rel.TryAdd(w, vals...); err != nil {
+			return fmt.Errorf("%s line %d: %w", name, row.line, err)
+		}
+		return nil
+	}
+	if _, err := scanRows(r, name, arity, true, addRow); err != nil {
+		return nil, err
+	}
+	if rel == nil { // declared schema, zero data rows
+		rel = New(name, attrs...)
+	}
+	return rel, nil
+}
+
+// autoAttrs names inferred columns A1..Ak.
+func autoAttrs(n int) []string {
+	attrs := make([]string, n)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("A%d", i+1)
+	}
+	return attrs
+}
+
+// sniffColumnTypes infers each value column's logical type as the widest any
+// row needs (int64 ⊂ float64 ⊂ string), so `1` followed by `alice` makes a
+// string column rather than an error — real datasets routinely have id-like
+// first rows in label columns. A column that widened to float64 but contains
+// an integer too large to represent exactly widens further to string:
+// rounding it into a float code would silently merge distinct keys.
+func sniffColumnTypes(rows []csvRow, nvals int) []Type {
+	types := make([]Type, nvals)
+	for _, row := range rows {
+		for i := 0; i < nvals; i++ {
+			if types[i] == TypeString {
+				continue // already widest
+			}
+			types[i] = WidenType(types[i], SniffType(row.fields[i]))
+		}
+	}
+	for i, t := range types {
+		if t != TypeFloat64 {
+			continue
+		}
+		for _, row := range rows {
+			if IntLiteralUnsafeForFloat(row.fields[i]) {
+				types[i] = TypeString
+				break
+			}
+		}
+	}
+	return types
+}
+
+// LoadCSVTyped reads a weighted relation whose value columns may be int64,
+// float64, or string: each column's logical type is sniffed as the widest
+// type its values need, and non-int64 columns are dictionary-encoded into
+// dict so the enumeration core keeps operating on dense int64 codes. The
+// trailing column is always the finite float64 tuple weight. Separator
+// handling, comments, and error shapes match LoadCSV. All relations of one
+// database must share its dictionary (pass db.Dict()) so joins across
+// relations compare codes of the same logical domain.
+func LoadCSVTyped(r io.Reader, dict *Dictionary, name string, attrs ...string) (*Relation, error) {
+	rows, err := collectRows(r, name, len(attrs))
+	if err != nil {
+		return nil, err
+	}
+	return loadTypedRows(dict, name, attrs, rows)
+}
+
+// LoadCSVAutoTyped is LoadCSVTyped with the arity inferred from the first
+// data row and attributes named A1..Ak — the HTTP upload path for bodies
+// without a declared schema.
+func LoadCSVAutoTyped(r io.Reader, dict *Dictionary, name string) (*Relation, error) {
+	rows, err := collectRows(r, name, -1)
+	if err != nil {
+		return nil, err
+	}
+	// rows is non-empty here: inference over zero data rows is a scan error.
+	return loadTypedRows(dict, name, autoAttrs(len(rows[0].fields)-1), rows)
+}
+
+// collectRows buffers every scanned row: the typed loaders must see the
+// whole file before encoding, because a column's sniffed type is the widest
+// any row needs. Lenient whitespace mode: string values may contain spaces.
+func collectRows(r io.Reader, name string, arity int) ([]csvRow, error) {
+	var rows []csvRow
+	if _, err := scanRows(r, name, arity, false, func(row csvRow) error {
+		rows = append(rows, row)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// loadTypedRows sniffs column types over all scanned rows, then encodes them.
+func loadTypedRows(dict *Dictionary, name string, attrs []string, rows []csvRow) (*Relation, error) {
+	types := sniffColumnTypes(rows, len(attrs))
+	rel, err := NewTyped(name, dict, attrs, types)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		vals := make([]Value, len(attrs))
+		for i := range attrs {
+			v, err := dict.EncodeField(types[i], row.fields[i])
+			if err != nil {
+				return nil, fmt.Errorf("%s line %d col %d: %w", name, row.line, i+1, err)
+			}
+			vals[i] = v
+		}
+		w, err := parseWeight(name, row, len(attrs))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rel.TryAdd(w, vals...); err != nil {
+			return nil, fmt.Errorf("%s line %d: %w", name, row.line, err)
+		}
+	}
+	return rel, nil
+}
+
+// WriteCSV writes the relation in a format the loaders read back: logical
+// values (decoded through the relation's dictionary) with the weight last.
+// String values are written raw, so strings containing the separator do not
+// round-trip — WriteCSV is a debugging aid, not an archival format.
 func WriteCSV(w io.Writer, r *Relation) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %s(%s), last column = weight\n", r.Name, strings.Join(r.Attrs, ","))
 	for i, row := range r.Rows {
-		for _, v := range row {
-			fmt.Fprintf(bw, "%d,", v)
+		for c, v := range row {
+			switch lv := r.Dict.Decode(r.ColType(c), v).(type) {
+			case float64:
+				fmt.Fprintf(bw, "%g,", lv)
+			case string:
+				fmt.Fprintf(bw, "%s,", lv)
+			default:
+				fmt.Fprintf(bw, "%d,", lv)
+			}
 		}
 		fmt.Fprintf(bw, "%g\n", r.Weights[i])
 	}

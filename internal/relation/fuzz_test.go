@@ -2,6 +2,7 @@ package relation
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -26,20 +27,81 @@ func FuzzLoadCSVAuto(f *testing.F) {
 	f.Add([]byte("3 4 1\n1,2,0.5\n"))   // mixed the other way
 	f.Add([]byte("1,2 3,0.5\n"))        // whitespace inside a comma field
 	f.Add([]byte("1\t2\t0.5\n3 4 1\n")) // tabs and spaces are one separator class
+	f.Add([]byte("1,2,-Inf\n"))         // non-finite weights must be rejected
+	f.Add([]byte("1,2,+Inf\n"))
+	f.Add([]byte("1,2,1e9999\n")) // ParseFloat overflows to +Inf
+	f.Add([]byte("1,2,nan\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rel, err := LoadCSVAuto(bytes.NewReader(data), "F")
 		if err != nil {
 			return
 		}
-		if rel == nil {
-			t.Fatal("nil relation without error")
+		checkLoaded(t, rel)
+	})
+}
+
+// checkLoaded asserts the structural invariants every accepted relation must
+// satisfy: consistent row/weight/attr counts and finite weights (NaN breaks
+// the dioid order, ±Inf the heap arithmetic).
+func checkLoaded(t *testing.T, rel *Relation) {
+	t.Helper()
+	if rel == nil {
+		t.Fatal("nil relation without error")
+	}
+	if len(rel.Rows) != len(rel.Weights) {
+		t.Fatalf("%d rows but %d weights", len(rel.Rows), len(rel.Weights))
+	}
+	for i, row := range rel.Rows {
+		if len(row) != len(rel.Attrs) {
+			t.Fatalf("row %d has %d values, schema has %d attrs", i, len(row), len(rel.Attrs))
 		}
-		if len(rel.Rows) != len(rel.Weights) {
-			t.Fatalf("%d rows but %d weights", len(rel.Rows), len(rel.Weights))
+	}
+	for i, w := range rel.Weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			t.Fatalf("row %d carries non-finite weight %v past the loader", i, w)
+		}
+	}
+}
+
+// FuzzLoadCSVTyped feeds arbitrary bytes through the type-sniffing,
+// dictionary-encoding loader — the typed HTTP upload path. Beyond the
+// structural invariants of FuzzLoadCSVAuto, every accepted row must decode
+// back to logical values consistent with the sniffed column types, and
+// encoded columns must hold codes the dictionary can resolve.
+func FuzzLoadCSVTyped(f *testing.F) {
+	f.Add([]byte("alice,bob,1.5\n"))
+	f.Add([]byte("a,1,0.25,2\nb,2,0.5,1\n")) // mixed string/int/float columns
+	f.Add([]byte("1,2,0.5\nalice,3,0.25\n")) // widening int -> string mid-file
+	f.Add([]byte("1,2.5,1\n1,alice,1\n"))    // widening float -> string
+	f.Add([]byte("NaN,1,1\n"))               // NaN as a value sniffs as string
+	f.Add([]byte("+Inf,-Inf,0.5\n"))
+	f.Add([]byte("x,y,NaN\n")) // NaN as a weight is rejected
+	f.Add([]byte("x,y,Inf\n"))
+	f.Add([]byte("a b c\nd e f\n")) // whitespace-separated strings... weight must fail
+	f.Add([]byte("\xff\xfe,1,1\n")) // invalid UTF-8 is just bytes
+	f.Add([]byte("a,,1\n"))         // empty string field still rejected
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dict := NewDictionary()
+		rel, err := LoadCSVAutoTyped(bytes.NewReader(data), dict, "F")
+		if err != nil {
+			return
+		}
+		checkLoaded(t, rel)
+		if len(rel.Types) != len(rel.Attrs) {
+			t.Fatalf("%d column types for %d attrs", len(rel.Types), len(rel.Attrs))
 		}
 		for i, row := range rel.Rows {
-			if len(row) != len(rel.Attrs) {
-				t.Fatalf("row %d has %d values, schema has %d attrs", i, len(row), len(rel.Attrs))
+			for c, v := range row {
+				switch rel.ColType(c) {
+				case TypeFloat64:
+					if _, ok := dict.DecodeFloat(v); !ok {
+						t.Fatalf("row %d col %d: float code %d not in dictionary", i, c, v)
+					}
+				case TypeString:
+					if _, ok := dict.DecodeString(v); !ok {
+						t.Fatalf("row %d col %d: string code %d not in dictionary", i, c, v)
+					}
+				}
 			}
 		}
 	})

@@ -41,6 +41,17 @@ type Relation struct {
 	Rows    [][]Value
 	Weights []float64
 
+	// Types is the logical column schema: Types[i] says what the physical
+	// int64 codes of column i decode to. A nil Types (the common case for
+	// code-constructed relations) means every column is a plain int64 whose
+	// code is its value. Non-int64 columns resolve through Dict.
+	Types []Type
+	// Dict decodes the relation's encoded columns. Relations registered in
+	// one DB share the DB's dictionary so equal logical values get equal
+	// codes and joins across relations stay sound. Nil when Types needs no
+	// dictionary.
+	Dict *Dictionary
+
 	version atomic.Uint64
 
 	memoMu      sync.Mutex
@@ -56,11 +67,114 @@ type memoEntry struct {
 	val  any
 }
 
-// New returns an empty relation with the given schema.
+// New returns an empty relation with the given schema; every column is a
+// plain int64. Use NewTyped for dictionary-encoded logical schemas.
 func New(name string, attrs ...string) *Relation {
 	r := &Relation{Name: name, Attrs: attrs}
 	r.version.Store(nextStamp())
 	return r
+}
+
+// NewTyped returns an empty relation with a logical column schema resolved
+// through dict. len(types) must equal len(attrs); dict may be nil only when
+// no column needs one.
+func NewTyped(name string, dict *Dictionary, attrs []string, types []Type) (*Relation, error) {
+	if len(types) != len(attrs) {
+		return nil, fmt.Errorf("relation %s: %d column types for %d attributes", name, len(types), len(attrs))
+	}
+	r := New(name, attrs...)
+	r.Types = append([]Type(nil), types...)
+	if r.HasEncodedCols() {
+		if dict == nil {
+			return nil, fmt.Errorf("relation %s: typed columns need a dictionary", name)
+		}
+		r.Dict = dict
+	}
+	return r, nil
+}
+
+// ColType returns the logical type of column i (TypeInt64 when the relation
+// has no typed schema).
+func (r *Relation) ColType(i int) Type {
+	if r.Types == nil {
+		return TypeInt64
+	}
+	return r.Types[i]
+}
+
+// HasEncodedCols reports whether any column stores dictionary codes rather
+// than plain int64 values — i.e. whether decoding this relation's rows is
+// more than the identity.
+func (r *Relation) HasEncodedCols() bool {
+	for _, t := range r.Types {
+		if t != TypeInt64 {
+			return true
+		}
+	}
+	return false
+}
+
+// AddTyped appends a row of logical values (int64/int, float64, string per
+// the column schema), encoding through the relation's dictionary. It is the
+// programmatic twin of typed CSV ingest.
+func (r *Relation) AddTyped(w float64, logical ...any) (int, error) {
+	if len(logical) != len(r.Attrs) {
+		return -1, fmt.Errorf("relation %s: row arity %d != schema arity %d", r.Name, len(logical), len(r.Attrs))
+	}
+	vals := make([]Value, len(logical))
+	for i, lv := range logical {
+		t := r.ColType(i)
+		d := r.Dict
+		if t != TypeInt64 && d == nil {
+			return -1, fmt.Errorf("relation %s col %d: %s column without a dictionary", r.Name, i+1, t)
+		}
+		v, err := d.Encode(t, lv)
+		if err != nil {
+			return -1, fmt.Errorf("relation %s col %d: %w", r.Name, i+1, err)
+		}
+		vals[i] = v
+	}
+	return r.TryAdd(w, vals...)
+}
+
+// DecodeRow resolves one physical row into its logical values (int64,
+// float64, or string per column) against the relation's dictionary.
+func (r *Relation) DecodeRow(row []Value) []any {
+	out := make([]any, len(row))
+	for i, v := range row {
+		out[i] = r.Dict.Decode(r.ColType(i), v)
+	}
+	return out
+}
+
+// Reencode returns a relation with the same logical contents whose encoded
+// columns are interned into dict instead of r's dictionary. Relations without
+// encoded columns are returned unchanged (their physical rows are their
+// logical values). The HTTP service uses it when an upload raced a dataset
+// replacement and must be re-based onto the new dataset's dictionary.
+func (r *Relation) Reencode(dict *Dictionary) (*Relation, error) {
+	if !r.HasEncodedCols() {
+		return r, nil
+	}
+	nr, err := NewTyped(r.Name, dict, r.Attrs, r.Types)
+	if err != nil {
+		return nil, err
+	}
+	for i, row := range r.Rows {
+		vals := make([]Value, len(row))
+		for c, v := range row {
+			t := r.ColType(c)
+			var encodeErr error
+			vals[c], encodeErr = dict.Encode(t, r.Dict.Decode(t, v))
+			if encodeErr != nil {
+				return nil, fmt.Errorf("relation %s row %d col %d: %w", r.Name, i, c+1, encodeErr)
+			}
+		}
+		if _, err := nr.TryAdd(r.Weights[i], vals...); err != nil {
+			return nil, err
+		}
+	}
+	return nr, nil
 }
 
 // Version returns the relation's mutation stamp: it strictly increases every
@@ -181,12 +295,31 @@ type DB struct {
 	order []string
 	id    uint64
 	stamp uint64
+	dict  *Dictionary
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty database with a fresh dictionary.
 func NewDB() *DB {
-	return &DB{rels: map[string]*Relation{}, id: nextStamp(), stamp: nextStamp()}
+	return NewDBWithDict(NewDictionary())
 }
+
+// NewDBWithDict returns an empty database resolving typed relations through
+// dict. Callers that encode relations before deciding which database they
+// land in (the HTTP upload path) use it to register the database around the
+// dictionary the rows were already interned into.
+func NewDBWithDict(dict *Dictionary) *DB {
+	if dict == nil {
+		dict = NewDictionary()
+	}
+	return &DB{rels: map[string]*Relation{}, id: nextStamp(), stamp: nextStamp(), dict: dict}
+}
+
+// Dict returns the database's shared dictionary. Every typed relation of one
+// DB encodes through this single dictionary, so equal logical values carry
+// equal codes across relations and equality joins on the physical domain are
+// exactly equality joins on the logical one. Clones share it (it is
+// append-only, so sharing is sound under copy-on-write membership updates).
+func (db *DB) Dict() *Dictionary { return db.dict }
 
 // ID returns a process-unique identifier for this DB instance (clones get
 // fresh ids). Compiled-plan caches key entries by (ID, Version) so two
@@ -238,6 +371,7 @@ func (db *DB) Clone() *DB {
 		order: append([]string(nil), db.order...),
 		id:    nextStamp(),
 		stamp: nextStamp(),
+		dict:  db.dict,
 	}
 	for k, v := range db.rels {
 		c.rels[k] = v

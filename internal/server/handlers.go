@@ -18,11 +18,15 @@
 package server
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -196,9 +200,38 @@ func describe(name string, db *relation.DB) DatasetResponse {
 	resp := DatasetResponse{Name: name, Relations: []RelationInfo{}}
 	for _, rn := range db.Names() {
 		rel := db.Relation(rn)
-		resp.Relations = append(resp.Relations, RelationInfo{Name: rn, Attrs: rel.Attrs, Rows: rel.Size()})
+		resp.Relations = append(resp.Relations, describeRelation(rn, rel))
 	}
 	return resp
+}
+
+// describeRelation renders one relation's wire description; the logical
+// column types appear only when some column is dictionary-encoded, keeping
+// int64-only responses on the v1 shape.
+func describeRelation(name string, rel *relation.Relation) RelationInfo {
+	info := RelationInfo{Name: name, Attrs: rel.Attrs, Rows: rel.Size()}
+	if rel.HasEncodedCols() {
+		info.Types = make([]string, rel.Arity())
+		for i := range info.Types {
+			info.Types[i] = rel.ColType(i).String()
+		}
+	}
+	return info
+}
+
+// wireTypes renders a session's logical output schema for the wire: one type
+// name per output variable for typed sessions, nil (omitted) for int64-only
+// ones.
+func wireTypes(it Iter) []string {
+	if !it.Typed() {
+		return nil
+	}
+	ts := it.VarTypes()
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.String()
+	}
+	return out
 }
 
 func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
@@ -242,22 +275,112 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleUploadRelation ingests a CSV body (see relation.LoadCSV for the
+// handleUploadRelation ingests a CSV body (see relation.LoadCSVTyped for the
 // format) as relation {rel} of dataset {name}, creating the dataset if it
 // does not exist. ?attrs=A,B declares the schema; without it the arity is
-// inferred from the first data row.
+// inferred from the first data row. Column types are sniffed per column
+// (int64 ⊂ float64 ⊂ string) and non-int64 columns are dictionary-encoded
+// into the dataset's shared dictionary, so string- and float-valued datasets
+// are servable while the enumeration core keeps its dense int64 domain.
+// uploadLoaders bundles the strict and typed parse of one upload body; attrs
+// is the raw ?attrs= value ("" = infer the schema from the first data row).
+func uploadStrict(r io.Reader, relName, attrs string) (*relation.Relation, error) {
+	if attrs != "" {
+		return relation.LoadCSV(r, relName, strings.Split(attrs, ",")...)
+	}
+	return relation.LoadCSVAuto(r, relName)
+}
+
+func uploadTyped(r io.Reader, dict *relation.Dictionary, relName, attrs string) (*relation.Relation, error) {
+	if attrs != "" {
+		return relation.LoadCSVTyped(r, dict, relName, strings.Split(attrs, ",")...)
+	}
+	return relation.LoadCSVAutoTyped(r, dict, relName)
+}
+
+// spoolMemLimit is how much of an upload body is retained in memory for the
+// typed-loader replay before spilling to a temp file: small (typical) bodies
+// never touch disk, near-cap ones cost one sequential file instead of heap.
+const spoolMemLimit = 8 << 20
+
+// bodySpool captures the bytes an upload parse consumes so a failed strict
+// pass can be replayed through the typed loader. Write never returns an
+// error — a spool fault must not abort a strict parse that may succeed and
+// never need the replay — it is deferred to Replay, where it surfaces as the
+// server-side fault it is (never as a client 400).
+type bodySpool struct {
+	mem  bytes.Buffer
+	file *os.File
+	werr error
+}
+
+func (sp *bodySpool) Write(p []byte) (int, error) {
+	if sp.werr != nil {
+		return len(p), nil
+	}
+	if sp.file == nil {
+		if sp.mem.Len()+len(p) <= spoolMemLimit {
+			return sp.mem.Write(p)
+		}
+		f, err := os.CreateTemp("", "anykd-upload-*.csv")
+		if err != nil {
+			sp.werr = err
+			return len(p), nil
+		}
+		sp.file = f
+		if _, err := sp.file.Write(sp.mem.Bytes()); err != nil {
+			sp.werr = err
+			return len(p), nil
+		}
+		sp.mem.Reset()
+	}
+	if _, err := sp.file.Write(p); err != nil {
+		sp.werr = err
+	}
+	return len(p), nil
+}
+
+// Replay returns a reader over everything written so far, or the deferred
+// spool fault.
+func (sp *bodySpool) Replay() (io.Reader, error) {
+	if sp.werr != nil {
+		return nil, fmt.Errorf("spooling upload body: %w", sp.werr)
+	}
+	if sp.file == nil {
+		return bytes.NewReader(sp.mem.Bytes()), nil
+	}
+	if _, err := sp.file.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return bufio.NewReaderSize(sp.file, 1<<20), nil
+}
+
+// Close releases the spill file, if any.
+func (sp *bodySpool) Close() {
+	if sp.file != nil {
+		sp.file.Close()
+		os.Remove(sp.file.Name())
+	}
+}
+
 func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 	name, relName := r.PathValue("name"), r.PathValue("rel")
+	attrs := r.URL.Query().Get("attrs")
 	// MaxBytesReader (unlike a plain LimitReader) errors the read past the
 	// cap, so an oversized upload is rejected instead of silently truncated.
 	body := http.MaxBytesReader(w, r.Body, maxUploadBytes)
-	var rel *relation.Relation
-	var err error
-	if attrs := r.URL.Query().Get("attrs"); attrs != "" {
-		rel, err = relation.LoadCSV(body, relName, strings.Split(attrs, ",")...)
-	} else {
-		rel, err = relation.LoadCSVAuto(body, relName)
-	}
+	// Parse int64-first: the strict loader streams one row at a time (no
+	// per-field buffering), so all-integer uploads — the common case — keep
+	// memory proportional to the relation, not the text. The body is teed
+	// into a spool (memory up to spoolMemLimit, then a temp file) as the
+	// strict pass consumes it, because anything the strict loader rejects
+	// retries through the type-sniffing loader, which must replay the full
+	// body. The typed pass encodes into a *scratch* dictionary: nothing is
+	// interned into the live dataset's dictionary unless the entire body
+	// parses, so a failed upload cannot grow it.
+	spool := &bodySpool{}
+	defer spool.Close()
+	rel, err := uploadStrict(io.TeeReader(body, spool), relName, attrs)
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -265,26 +388,72 @@ func (s *Server) handleUploadRelation(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("upload exceeds %d bytes", maxUploadBytes))
 			return
 		}
-		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
-		return
+		// Spool whatever the aborted strict pass did not consume, then
+		// replay the whole body through the typed loader. spool.Write never
+		// errors, so a Copy failure is a body-read (client-side) fault.
+		if _, cerr := io.Copy(spool, body); cerr != nil {
+			if errors.As(cerr, &mbe) {
+				writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+					fmt.Sprintf("upload exceeds %d bytes", maxUploadBytes))
+			} else {
+				writeError(w, http.StatusBadRequest, CodeBadRequest, cerr.Error())
+			}
+			return
+		}
+		replay, rerr := spool.Replay()
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, rerr.Error())
+			return
+		}
+		rel, err = uploadTyped(replay, relation.NewDictionary(), relName, attrs)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
+			return
+		}
 	}
 	// Copy-on-write: registered DBs are never mutated, so readers (query
 	// opens mid-enumeration-build) need no lock beyond the map lookup. The
 	// clone carries a fresh DB identity and version, so compiled plans keyed
 	// to the previous contents can never be replayed against the new ones;
 	// swapDataset additionally purges them to release the memory now.
-	s.mu.Lock()
-	var db *relation.DB
-	if entry, ok := s.datasets[name]; ok {
-		db = entry.db.Clone()
-	} else {
-		db = relation.NewDB()
+	//
+	// A typed relation still carries scratch codes, which must be re-based
+	// onto the dictionary of the database it actually lands in. Re-encoding
+	// a large relation is too slow for the registry lock, so it runs outside
+	// it and the install re-checks — the loop converges because dataset
+	// replacements are rare one-off events, and each pass re-encodes against
+	// the latest dictionary.
+	for {
+		s.mu.Lock()
+		entry, ok := s.datasets[name]
+		var db *relation.DB
+		switch {
+		case ok:
+			db = entry.db.Clone()
+		case rel.HasEncodedCols():
+			// Fresh dataset: adopt the scratch dictionary as its dictionary
+			// instead of re-encoding into an empty one.
+			db = relation.NewDBWithDict(rel.Dict)
+		default:
+			db = relation.NewDB()
+		}
+		if !rel.HasEncodedCols() || rel.Dict == db.Dict() {
+			db.AddRelation(rel)
+			s.swapDataset(name, db)
+			s.mu.Unlock()
+			break
+		}
+		target := db.Dict()
+		s.mu.Unlock()
+		rebased, err := rel.Reencode(target) // append-only dict: safe outside the lock
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, CodeInternal, err.Error())
+			return
+		}
+		rel = rebased
 	}
-	db.AddRelation(rel)
-	s.swapDataset(name, db)
-	s.mu.Unlock()
 	s.Log.Info("relation uploaded", "dataset", name, "relation", relName, "rows", rel.Size())
-	writeJSON(w, http.StatusCreated, RelationInfo{Name: rel.Name, Attrs: rel.Attrs, Rows: rel.Size()})
+	writeJSON(w, http.StatusCreated, describeRelation(rel.Name, rel))
 }
 
 func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
@@ -311,7 +480,8 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	sess := s.Sessions.Create(o.it, o.q.String(), o.dioid, o.alg.String())
 	s.Log.Info("session created", "id", sess.ID, "query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
-	writeJSON(w, http.StatusCreated, QueryResponse{ID: sess.ID, Vars: o.it.Vars(), Trees: o.it.Trees(), Plan: o.it.Plan()})
+	writeJSON(w, http.StatusCreated, QueryResponse{
+		ID: sess.ID, Vars: o.it.Vars(), Types: wireTypes(o.it), Trees: o.it.Trees(), Plan: o.it.Plan()})
 }
 
 // acquireSession resolves {id} or writes the structured 404.
@@ -342,6 +512,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		Dioid:     sess.Dioid,
 		Algorithm: sess.Algorithm,
 		Vars:      sess.It.Vars(),
+		Types:     wireTypes(sess.It),
 		Trees:     sess.It.Trees(),
 		Served:    sess.Served,
 		Done:      sess.IsDone(),
@@ -368,6 +539,7 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		k = maxPageK
 	}
 	sess.Mu.Lock()
+	typed := sess.It.Typed()
 	resp := NextResponse{ID: sess.ID, Rows: []WireRow{}}
 	for len(resp.Rows) < k && !sess.IsDone() {
 		// Stop between rows if the client went away or the session was
@@ -386,7 +558,14 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		sess.Served++
-		resp.Rows = append(resp.Rows, WireRow{Rank: sess.Served, Vals: vals, Weight: weight})
+		// Wire format v2: typed sessions decode codes into logical JSON
+		// values; int64-only sessions serve the raw values, byte-identical
+		// to the v1 encoding.
+		var wireVals any = vals
+		if typed {
+			wireVals = sess.It.TypedVals(vals)
+		}
+		resp.Rows = append(resp.Rows, WireRow{Rank: sess.Served, Vals: wireVals, Weight: weight})
 	}
 	resp.Served, resp.Done = sess.Served, sess.IsDone()
 	sess.Mu.Unlock()

@@ -27,6 +27,16 @@ type Iter interface {
 	// Plan reports the decomposition route the engine chose (route, width,
 	// shard counts, and — for GHD-planned queries — the bag structure).
 	Plan() *engine.PlanInfo
+	// Typed reports whether any output column is dictionary-encoded; typed
+	// sessions serve wire format v2 (logical JSON values via TypedVals),
+	// untyped sessions keep the byte-compatible v1 int64 arrays.
+	Typed() bool
+	// TypedVals decodes one row's dense codes into logical values (int64,
+	// float64, or string per VarTypes).
+	TypedVals(vals []relation.Value) []any
+	// VarTypes is the logical type of each output variable (Vars order);
+	// nil for untyped sessions.
+	VarTypes() []relation.Type
 	// Close releases enumeration resources (the shard producer goroutines of
 	// a parallel session); the manager calls it when a session is evicted,
 	// removed, or shut down.
@@ -47,10 +57,13 @@ func (e *eraseIter[W]) Next() ([]relation.Value, any, bool) {
 	return r.Vals, e.weight(r.Weight), true
 }
 
-func (e *eraseIter[W]) Vars() []string         { return e.it.Vars }
-func (e *eraseIter[W]) Trees() int             { return e.it.Trees }
-func (e *eraseIter[W]) Plan() *engine.PlanInfo { return e.it.Plan }
-func (e *eraseIter[W]) Close()                 { e.it.Close() }
+func (e *eraseIter[W]) Vars() []string                        { return e.it.Vars }
+func (e *eraseIter[W]) Trees() int                            { return e.it.Trees }
+func (e *eraseIter[W]) Plan() *engine.PlanInfo                { return e.it.Plan }
+func (e *eraseIter[W]) Typed() bool                           { return e.it.Typed() }
+func (e *eraseIter[W]) TypedVals(vals []relation.Value) []any { return e.it.TypedVals(vals) }
+func (e *eraseIter[W]) VarTypes() []relation.Type             { return e.it.Types }
+func (e *eraseIter[W]) Close()                                { e.it.Close() }
 
 // enumerate instantiates Enumerate at W and erases the result.
 func enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.Algorithm, opt engine.Options, weight func(W) any) (Iter, error) {

@@ -107,6 +107,16 @@ func weightOf(t *testing.T, r WireRow) float64 {
 	return w
 }
 
+// valsOf returns a row's decoded vals array (JSON numbers and strings).
+func valsOf(t *testing.T, r WireRow) []any {
+	t.Helper()
+	vals, ok := r.Vals.([]any)
+	if !ok {
+		t.Fatalf("vals %v (%T) is not an array", r.Vals, r.Vals)
+	}
+	return vals
+}
+
 // TestPagingPreservesRankOrder drains one session in pages and checks the
 // concatenation is exactly the ranked stream: contiguous ranks, non-decreasing
 // weights, and identical to a single big page from a fresh session.
@@ -273,7 +283,8 @@ func TestCSVUploadAndDatalog(t *testing.T) {
 		}
 	}
 	for i, v := range wantTop {
-		if page.Rows[0].Vals[i] != v {
+		// JSON round-trips int64 vals as float64 numbers.
+		if valsOf(t, page.Rows[0])[i] != float64(v) {
 			t.Fatalf("top row vals %v, want %v", page.Rows[0].Vals, wantTop)
 		}
 	}

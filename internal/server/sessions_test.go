@@ -27,7 +27,16 @@ func (s *stubIter) Next() ([]relation.Value, any, bool) {
 func (s *stubIter) Vars() []string         { return []string{"x"} }
 func (s *stubIter) Trees() int             { return 1 }
 func (s *stubIter) Plan() *engine.PlanInfo { return nil }
-func (s *stubIter) Close()                 {}
+func (s *stubIter) Typed() bool            { return false }
+func (s *stubIter) TypedVals(vals []relation.Value) []any {
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = v
+	}
+	return out
+}
+func (s *stubIter) VarTypes() []relation.Type { return nil }
+func (s *stubIter) Close()                    {}
 
 func newStub() Iter { return &stubIter{rows: [][]relation.Value{{1}, {2}, {3}}} }
 

@@ -5,7 +5,6 @@ import (
 	"net/http"
 
 	"anyk/internal/engine"
-	"anyk/internal/relation"
 )
 
 // Error codes returned in ErrorResponse.Error.Code. Clients should branch on
@@ -45,10 +44,14 @@ type DatasetRequest struct {
 	Seed   int64 `json:"seed,omitempty"`
 }
 
-// RelationInfo describes one relation of a dataset.
+// RelationInfo describes one relation of a dataset. Types lists the logical
+// column types ("int64", "float64", "string") and is emitted only for
+// relations with non-int64 columns, keeping int64-only responses on the v1
+// shape.
 type RelationInfo struct {
 	Name  string   `json:"name"`
 	Attrs []string `json:"attrs"`
+	Types []string `json:"types,omitempty"`
 	Rows  int      `json:"rows"`
 }
 
@@ -87,6 +90,10 @@ type QueryResponse struct {
 	ID string `json:"id"`
 	// Vars is the output schema: the order of Row.Vals in NextResponse.
 	Vars []string `json:"vars"`
+	// Types is the logical type per output variable ("int64", "float64",
+	// "string") for sessions over dictionary-encoded relations; absent for
+	// int64-only sessions (wire format v1).
+	Types []string `json:"types,omitempty"`
 	// Trees is the number of T-DP problems the query decomposed into.
 	Trees int `json:"trees"`
 	// Plan reports the decomposition route ("acyclic", "simple-cycle",
@@ -102,7 +109,9 @@ type SessionResponse struct {
 	Dioid     string   `json:"dioid"`
 	Algorithm string   `json:"algorithm"`
 	Vars      []string `json:"vars"`
-	Trees     int      `json:"trees"`
+	// Types mirrors QueryResponse.Types: present only for typed sessions.
+	Types []string `json:"types,omitempty"`
+	Trees int      `json:"trees"`
 	// Served is how many ranked rows the session has emitted so far; the next
 	// page starts at rank Served+1.
 	Served int  `json:"served"`
@@ -113,10 +122,16 @@ type SessionResponse struct {
 
 // WireRow is one ranked answer. Weight is a float64 for numeric dioids and a
 // []float64 vector for the lexicographic dioid.
+//
+// Vals is wire format v2: for sessions over dictionary-encoded relations it
+// is an array of logical JSON values (numbers and strings per the session's
+// Types). Int64-only sessions serve the raw []relation.Value, whose JSON
+// encoding is byte-identical to the v1 format — existing clients see no
+// change.
 type WireRow struct {
-	Rank   int              `json:"rank"`
-	Vals   []relation.Value `json:"vals"`
-	Weight any              `json:"weight"`
+	Rank   int `json:"rank"`
+	Vals   any `json:"vals"`
+	Weight any `json:"weight"`
 }
 
 // NextResponse is one page of ranked answers

@@ -1,0 +1,68 @@
+package testkit
+
+import (
+	"math/rand"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+)
+
+// TestDifferentialMinWeight runs free-connex MinWeight projection semantics
+// through the full differential matrix: every algorithm × parallelism 1/2/4
+// × uncached, cached-cold, and cached-warm must match the serial Batch
+// reference — which itself must match an oracle computed by folding the full
+// query's witnesses by hand.
+func TestDifferentialMinWeight(t *testing.T) {
+	r := rand.New(rand.NewSource(6001))
+	for _, fam := range []string{"path", "star"} {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				q, db := ProjectedInstance(t, fam, r)
+				DiffProjected(t, db, q, dioid.Tropical{}, engine.MinWeight, 1, 2, 4)
+			}
+		})
+	}
+}
+
+// TestDifferentialMinWeightMaxPlus pins the descending order: MinWeight under
+// (max,+) means "each distinct projection once, ranked by its heaviest
+// witness".
+func TestDifferentialMinWeightMaxPlus(t *testing.T) {
+	r := rand.New(rand.NewSource(6002))
+	for _, fam := range []string{"path", "star"} {
+		q, db := ProjectedInstance(t, fam, r)
+		DiffProjected(t, db, q, dioid.MaxPlus{}, engine.MinWeight, 1, 4)
+	}
+}
+
+// TestDifferentialAllWeightsProjection covers the other projection
+// semantics through the same matrix: AllWeights keeps one answer per
+// witness, and every algorithm × parallelism × cache state must agree with
+// the Batch reference on it.
+func TestDifferentialAllWeightsProjection(t *testing.T) {
+	r := rand.New(rand.NewSource(6003))
+	for _, fam := range []string{"path", "star"} {
+		q, db := ProjectedInstance(t, fam, r)
+		DiffProjected(t, db, q, dioid.Tropical{}, engine.AllWeights, 1, 4)
+	}
+}
+
+// TestDifferentialMinWeightTyped composes the two new surfaces: MinWeight
+// projections over a dictionary-encoded database must match the projection
+// run over its hand-encoded int64 twin, stream for stream.
+func TestDifferentialMinWeightTyped(t *testing.T) {
+	r := rand.New(rand.NewSource(6004))
+	q, db := ProjectedInstance(t, "path", r)
+	typedDB, twinDB := TypedTwin(t, q, db)
+	for _, alg := range core.Algorithms {
+		for _, p := range []int{1, 4} {
+			opt := engine.Options{Parallelism: p, Semantics: engine.MinWeight}
+			ref := CollectOpt(t, twinDB, q, dioid.Tropical{}, alg, opt)
+			got := CollectOpt(t, typedDB, q, dioid.Tropical{}, alg, opt)
+			CompareExact(t, "minweight-typed", dioid.Tropical{}, got, ref)
+		}
+	}
+}

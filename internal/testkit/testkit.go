@@ -14,8 +14,10 @@
 package testkit
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"anyk/internal/core"
@@ -202,4 +204,230 @@ func RowKeys[W any](rows []core.Row[W]) []string {
 		out[i] = fmt.Sprint(r.Vals)
 	}
 	return out
+}
+
+// varTypes assigns each query variable a logical type in a fixed rotation
+// (string, float64, int64), so typed instances exercise every type and every
+// join stays type-consistent (a variable has one type wherever it appears).
+func varTypes(q *query.CQ) map[string]relation.Type {
+	rotation := []relation.Type{relation.TypeString, relation.TypeFloat64, relation.TypeInt64}
+	out := map[string]relation.Type{}
+	for i, v := range q.Vars() {
+		out[v] = rotation[i%len(rotation)]
+	}
+	return out
+}
+
+// TypedTwin renders (q, db) into two databases with identical physical
+// contents arrived at through opposite routes:
+//
+//   - typedDB: each relation's int64 values are mapped to logical values per
+//     the variable's assigned type (v -> "n<v>" for strings, v+0.25 for
+//     floats, v for ints), written as CSV text, and ingested through
+//     LoadCSVTyped — the full sniff-and-dictionary-encode pipeline;
+//   - twinDB: plain int64 relations whose rows are, by hand, exactly the
+//     dense codes the dictionary assigns (first-appearance order, which the
+//     CSV scan order makes deterministic).
+//
+// Because the enumeration core sees only physical rows and weights, every
+// algorithm must produce bit-identical ranked streams over the two — the
+// tentpole invariant of the typed-domain refactor.
+func TypedTwin(t testing.TB, q *query.CQ, db *relation.DB) (typedDB, twinDB *relation.DB) {
+	t.Helper()
+	vtype := varTypes(q)
+	typedDB, twinDB = relation.NewDB(), relation.NewDB()
+	for _, a := range q.Atoms {
+		src := db.Relation(a.Rel)
+		if src == nil {
+			t.Fatalf("testkit: relation %s missing from instance db", a.Rel)
+		}
+		if typedDB.Relation(a.Rel) != nil {
+			continue // self-join atom: already rendered
+		}
+		var buf bytes.Buffer
+		for i, row := range src.Rows {
+			for c, v := range row {
+				switch vtype[a.Vars[c]] {
+				case relation.TypeString:
+					fmt.Fprintf(&buf, "n%03d,", v)
+				case relation.TypeFloat64:
+					fmt.Fprintf(&buf, "%g,", float64(v)+0.25)
+				default:
+					fmt.Fprintf(&buf, "%d,", v)
+				}
+			}
+			fmt.Fprintf(&buf, "%g\n", src.Weights[i])
+		}
+		typed, err := relation.LoadCSVTyped(&buf, typedDB.Dict(), a.Rel, src.Attrs...)
+		if err != nil {
+			t.Fatalf("testkit: typed render of %s: %v", a.Rel, err)
+		}
+		for c := range src.Attrs {
+			if want := vtype[a.Vars[c]]; typed.ColType(c) != want {
+				t.Fatalf("testkit: %s col %d sniffed as %s, want %s", a.Rel, c, typed.ColType(c), want)
+			}
+		}
+		twin := relation.New(a.Rel, src.Attrs...)
+		for i, row := range typed.Rows {
+			twin.Add(typed.Weights[i], row...)
+		}
+		typedDB.AddRelation(typed)
+		twinDB.AddRelation(twin)
+	}
+	return typedDB, twinDB
+}
+
+// CompareExact asserts two streams are bit-identical: same length and, at
+// every rank, order-equivalent weights and equal value vectors. Stronger
+// than CompareRanked (which allows tied rows to permute): it is the right
+// comparison when both streams were produced from identical physical inputs,
+// where even tie resolution must agree.
+func CompareExact[W any](t testing.TB, label string, d dioid.Dioid[W], got, ref []core.Row[W]) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Fatalf("%s: %d rows, want %d", label, len(got), len(ref))
+	}
+	for i := range got {
+		if !dioid.Eq(d, got[i].Weight, ref[i].Weight) {
+			t.Fatalf("%s: rank %d weight %v, want %v", label, i, got[i].Weight, ref[i].Weight)
+		}
+		if len(got[i].Vals) != len(ref[i].Vals) {
+			t.Fatalf("%s: rank %d arity %d, want %d", label, i, len(got[i].Vals), len(ref[i].Vals))
+		}
+		for c := range got[i].Vals {
+			if got[i].Vals[c] != ref[i].Vals[c] {
+				t.Fatalf("%s: rank %d vals %v, want %v", label, i, got[i].Vals, ref[i].Vals)
+			}
+		}
+	}
+}
+
+// DiffTypedTwin runs the typed-domain differential: for every ranked
+// algorithm at every parallelism in ps, the dictionary-encoded database and
+// its hand-encoded int64 twin must emit bit-identical ranked streams (order
+// and weights), uncached and through a shared compiled-plan cache (cold and
+// warm), with identical cache hit/miss behavior.
+func DiffTypedTwin[W any](t testing.TB, q *query.CQ, typedDB, twinDB *relation.DB, d dioid.Dioid[W], ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4}
+	}
+	typedCache, twinCache := engine.NewCache(0), engine.NewCache(0)
+	for _, alg := range core.Algorithms {
+		for _, p := range ps {
+			label := fmt.Sprintf("%s/%v/p=%d", q.Name, alg, p)
+			ref := Collect(t, twinDB, q, d, alg, p)
+			got := Collect(t, typedDB, q, d, alg, p)
+			CompareExact(t, label+"/uncached", d, got, ref)
+			for _, run := range []string{"cold", "warm"} {
+				got := CollectOpt(t, typedDB, q, d, alg, engine.Options{Parallelism: p, Cache: typedCache})
+				ref := CollectOpt(t, twinDB, q, d, alg, engine.Options{Parallelism: p, Cache: twinCache})
+				CompareExact(t, label+"/"+run, d, got, ref)
+			}
+		}
+	}
+	// Typed schemas must be invisible to the plan cache: the same call
+	// sequence over the typed and twin databases produces the same hit/miss
+	// stream and the same resident entry count.
+	ts, ws := typedCache.Stats(), twinCache.Stats()
+	if ts.Hits != ws.Hits || ts.Misses != ws.Misses || ts.Entries != ws.Entries {
+		t.Fatalf("%s: plan-cache behavior diverged: typed %+v vs int64 twin %+v", q.Name, ts, ws)
+	}
+	if ts.Hits == 0 {
+		t.Fatalf("%s: warm runs never hit the plan cache (stats %+v)", q.Name, ts)
+	}
+}
+
+// ProjectedInstance generates a random free-connex projection instance:
+// family "path" or "star" with the head restricted to a prefix of the
+// variables (1 or 2 of them), which keeps the extended hypergraph acyclic so
+// MinWeight semantics apply.
+func ProjectedInstance(t testing.TB, family string, r *rand.Rand) (*query.CQ, *relation.DB) {
+	t.Helper()
+	var q *query.CQ
+	switch family {
+	case "path":
+		q = query.PathQuery(3 + r.Intn(3))
+	case "star":
+		q = query.StarQuery(3 + r.Intn(3))
+	default:
+		t.Fatalf("testkit: no projected variant of family %q", family)
+	}
+	free := q.Vars()[:1+r.Intn(2)]
+	q = query.NewCQ(q.Name+"proj", free, q.Atoms...)
+	if !query.IsFreeConnex(q) {
+		t.Fatalf("testkit: %s is not free-connex", q)
+	}
+	return q, RandomDB(r, q, 4+r.Intn(10), 2+r.Intn(3))
+}
+
+// MinWeightOracle computes the expected MinWeight stream from first
+// principles: enumerate the full query with Batch, project every witness
+// onto the free variables, keep each distinct projection's Plus-fold of its
+// witness weights (fold in witness rank order, matching the engine's scan
+// order for tie-breaking dioids), and sort by weight. It is independent of
+// the connex-plan machinery under test.
+func MinWeightOracle[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W]) []core.Row[W] {
+	t.Helper()
+	full := query.NewCQ(q.Name+"full", nil, q.Atoms...)
+	vars := full.Vars()
+	pos := make([]int, 0, len(q.FreeVars()))
+	for _, fv := range q.FreeVars() {
+		for i, v := range vars {
+			if v == fv {
+				pos = append(pos, i)
+				break
+			}
+		}
+	}
+	witnesses := Collect(t, db, full, d, core.Batch, 1)
+	order := []string{}
+	folded := map[string]core.Row[W]{}
+	for _, w := range witnesses {
+		proj := make([]relation.Value, len(pos))
+		for i, p := range pos {
+			proj[i] = w.Vals[p]
+		}
+		k := fmt.Sprint(proj)
+		if prev, ok := folded[k]; ok {
+			prev.Weight = d.Plus(prev.Weight, w.Weight)
+			folded[k] = prev
+			continue
+		}
+		order = append(order, k)
+		folded[k] = core.Row[W]{Vals: proj, Weight: w.Weight}
+	}
+	out := make([]core.Row[W], 0, len(folded))
+	for _, k := range order {
+		out = append(out, folded[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return d.Less(out[i].Weight, out[j].Weight) })
+	return out
+}
+
+// DiffProjected runs the projection-semantics differential matrix: every
+// ranked algorithm × every parallelism in ps × {uncached, cached cold,
+// cached warm} must emit the ranked stream of the serial Batch reference
+// under the given semantics — and, for MinWeight, of the independent oracle.
+func DiffProjected[W any](t testing.TB, db *relation.DB, q *query.CQ, d dioid.Dioid[W], sem engine.Semantics, ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4}
+	}
+	ref := CollectOpt(t, db, q, d, core.Batch, engine.Options{Parallelism: 1, Semantics: sem})
+	if sem == engine.MinWeight {
+		CompareRanked(t, q.Name+"/batch-vs-oracle", d, ref, MinWeightOracle(t, db, q, d))
+	}
+	cache := engine.NewCache(0)
+	for _, alg := range core.Algorithms {
+		for _, p := range ps {
+			label := fmt.Sprintf("%s/sem=%v/%v/p=%d", q.Name, sem, alg, p)
+			got := CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: p, Semantics: sem})
+			CompareRanked(t, label+"/uncached", d, got, ref)
+			cold := CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: p, Semantics: sem, Cache: cache})
+			CompareRanked(t, label+"/cold", d, cold, ref)
+			warm := CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: p, Semantics: sem, Cache: cache})
+			CompareRanked(t, label+"/warm", d, warm, ref)
+		}
+	}
 }
