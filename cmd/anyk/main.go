@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"anyk/internal/dataset"
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
+	"anyk/internal/obs"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -37,6 +39,7 @@ var (
 	quietFlag   = flag.Bool("quiet", false, "suppress per-result output (timing only)")
 	jsonFlag    = flag.Bool("json", false, "emit one JSON object per row on stdout (summary goes to stderr)")
 	parFlag     = flag.Int("parallelism", 0, "workers for the sharded DP build and ranked merge (0 = GOMAXPROCS, 1 = serial)")
+	traceFlag   = flag.Bool("trace", false, "record and print the phase span tree, delay percentiles, and MEM(k) counters")
 )
 
 func main() {
@@ -65,8 +68,12 @@ func main() {
 		summary = os.Stderr // keep stdout pure NDJSON for script pipelines
 	}
 	fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
+	var tr *obs.Trace
+	if *traceFlag {
+		tr = obs.NewTrace()
+	}
 	start := time.Now()
-	rows, it, err := run(db, q, alg, *orderFlag, *kFlag)
+	rows, it, err := run(db, q, alg, *orderFlag, *kFlag, tr)
 	if err != nil {
 		fatal(err)
 	}
@@ -102,7 +109,39 @@ func main() {
 		}
 	}
 	fmt.Fprintf(summary, "%d results in %v (TTF included)\n", len(rows), elapsed)
+	if tr != nil {
+		printTrace(summary, tr)
+	}
 }
+
+// printTrace renders the -trace report: the indented phase span tree, the
+// inter-result delay percentiles, and the MEM(k) counters the enumerator
+// reported when the stream closed.
+func printTrace(w *os.File, tr *obs.Trace) {
+	snap := tr.Snapshot()
+	fmt.Fprintln(w, "trace:")
+	for _, line := range strings.Split(strings.TrimRight(snap.Tree(), "\n"), "\n") {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	if d := snap.Delays; d.Count > 0 {
+		fmt.Fprintf(w, "delays: n=%d p50=%s p90=%s p99=%s max=%s\n",
+			d.Count, secs(d.Quantile(0.5)), secs(d.Quantile(0.9)), secs(d.Quantile(0.99)), secs(d.Max))
+	}
+	if len(snap.Counters) > 0 {
+		names := make([]string, 0, len(snap.Counters))
+		for n := range snap.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, n := range names {
+			parts[i] = fmt.Sprintf("%s=%d", n, snap.Counters[n])
+		}
+		fmt.Fprintf(w, "counters: %s\n", strings.Join(parts, " "))
+	}
+}
+
+func secs(s float64) string { return time.Duration(s * float64(time.Second)).String() }
 
 // jsonRow is the NDJSON row shape of -json: one object per line, logical
 // values (numbers or strings, decoded through the dataset's dictionaries)
@@ -129,7 +168,7 @@ func writeJSON(rows []core.Row[float64], it *engine.Iterator[float64]) error {
 	return bw.Flush()
 }
 
-func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) ([]core.Row[float64], *engine.Iterator[float64], error) {
+func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int, tr *obs.Trace) ([]core.Row[float64], *engine.Iterator[float64], error) {
 	var d dioid.Dioid[float64]
 	switch order {
 	case "min":
@@ -139,7 +178,7 @@ func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int) 
 	default:
 		return nil, nil, fmt.Errorf("unknown order %q", order)
 	}
-	it, err := engine.Enumerate[float64](db, q, d, alg, engine.Options{Parallelism: *parFlag})
+	it, err := engine.Enumerate[float64](db, q, d, alg, engine.Options{Parallelism: *parFlag, Tracer: tr})
 	if err != nil {
 		return nil, nil, err
 	}

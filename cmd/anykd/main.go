@@ -8,6 +8,14 @@
 //	curl -X POST localhost:8080/v1/datasets -d '{"name":"d","kind":"uniform","relations":4,"n":1000}'
 //	curl -X POST localhost:8080/v1/queries -d '{"dataset":"d","query":"path4"}'
 //	curl 'localhost:8080/v1/queries/<id>/next?k=5'
+//	curl 'localhost:8080/v1/queries/<id>/stats'   # phase spans, delay histogram, MEM(k)
+//	curl 'localhost:8080/metrics'                 # Prometheus text exposition
+//
+// -debug-addr starts a second listener (bind it to localhost) carrying
+// net/http/pprof under /debug/pprof/ plus a /metrics alias, so profiling
+// and scraping stay off the public query port:
+//
+//	anykd -addr :8080 -debug-addr 127.0.0.1:6060
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -29,9 +38,10 @@ var (
 	addrFlag     = flag.String("addr", ":8080", "listen address")
 	ttlFlag      = flag.Duration("session-ttl", 10*time.Minute, "idle session expiry (0 = never)")
 	maxSessFlag  = flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond this)")
-	verboseFlag  = flag.Bool("v", false, "debug-level logging")
+	verboseFlag  = flag.Bool("v", false, "debug-level logging (includes per-session phase spans)")
 	shutdownFlag = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline")
 	maxParFlag   = flag.Int("max-parallelism", 8, "per-session parallelism cap (requests above it are clamped)")
+	debugFlag    = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this extra address (empty = off)")
 )
 
 func main() {
@@ -82,6 +92,30 @@ func main() {
 		}()
 	}
 
+	// Debug surface: pprof and the Prometheus exposition on a separate,
+	// opt-in listener — typically bound to localhost — so profiling and
+	// scraping never ride the public query port.
+	var debugSrv *http.Server
+	if *debugFlag != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dmux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = srv.Reg.WritePrometheus(w)
+		})
+		debugSrv = &http.Server{Addr: *debugFlag, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugFlag, "err", err)
+			}
+		}()
+		logger.Info("debug surface listening", "addr", *debugFlag)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	logger.Info("anykd listening", "addr", *addrFlag, "session_ttl", *ttlFlag, "max_sessions", *maxSessFlag)
@@ -95,6 +129,9 @@ func main() {
 	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownFlag)
 	defer cancel()
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -1,0 +1,22 @@
+// Command promcheck validates Prometheus text exposition (version 0.0.4)
+// read from stdin: it exits 0 when the input would be accepted by a real
+// Prometheus scrape and 1 with a line-numbered error otherwise. CI pipes
+// `curl /metrics` through it to fail the build on a malformed exposition.
+//
+//	curl -s localhost:8080/metrics | promcheck
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"anyk/internal/obs"
+)
+
+func main() {
+	if err := obs.ValidateExposition(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promcheck: exposition OK")
+}

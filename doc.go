@@ -19,6 +19,10 @@
 //   - internal/server — the HTTP query service: resumable ranked-enumeration
 //     sessions (TTL + LRU), dataset management, CSV ingest; served by
 //     cmd/anykd
+//   - internal/obs — dependency-free observability: per-query phase traces,
+//     inter-result delay histograms, MEM(k) counters, and a metric registry
+//     rendered as Prometheus text exposition (GET /metrics on anykd,
+//     per-session GET /v1/sessions/{id}/stats, anyk -trace)
 //   - internal/query, internal/relation, internal/dioid, internal/heapq,
 //     internal/dataset, internal/homom, internal/bench — substrates
 //

@@ -8,7 +8,6 @@ package bench
 import (
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"time"
 
@@ -16,6 +15,7 @@ import (
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
 	"anyk/internal/join"
+	"anyk/internal/obs"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -36,8 +36,18 @@ type Series struct {
 	TTF float64
 	// DelayP50/P95/P99 are inter-result delay percentiles in seconds,
 	// populated only when Config.RecordDelays is set (recording a timestamp
-	// per result has measurable overhead).
+	// per result has measurable overhead). They are read off DelayHist, so
+	// each is the upper bound of its log-spaced bucket (factor-2 resolution),
+	// capped at the exact observed maximum.
 	DelayP50, DelayP95, DelayP99 float64
+	// DelayHist is the inter-result delay histogram merged across reps
+	// (zero-valued unless Config.RecordDelays is set).
+	DelayHist obs.HistSnapshot
+	// Candidates and MaxQueue are the paper's MEM(k) counters from the last
+	// rep — candidates inserted into choice sets and the priority-queue
+	// high-water mark — populated only when Config.RecordDelays is set.
+	Candidates int
+	MaxQueue   int
 }
 
 // Config describes one panel of a figure.
@@ -119,7 +129,9 @@ func Run(cfg Config) ([]Series, error) {
 			}
 		}
 		var runs [][]Point
-		var ttfs, delays []float64
+		var ttfs []float64
+		var hist obs.HistSnapshot
+		var stats core.Stats
 		total := 0
 		for rep := 0; rep < reps; rep++ {
 			r, err := runOnce(cfg, alg)
@@ -128,42 +140,54 @@ func Run(cfg Config) ([]Series, error) {
 			}
 			runs = append(runs, r.pts)
 			ttfs = append(ttfs, r.ttf)
-			delays = append(delays, r.delays...)
+			hist.Merge(r.hist)
+			stats = r.stats // reps replay the same workload; keep the last
 			total = r.n
 		}
 		s := Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total, TTF: median(ttfs)}
-		if len(delays) > 0 {
-			sort.Float64s(delays)
-			s.DelayP50 = percentile(delays, 0.50)
-			s.DelayP95 = percentile(delays, 0.95)
-			s.DelayP99 = percentile(delays, 0.99)
+		if hist.Count > 0 {
+			s.DelayHist = hist
+			s.DelayP50 = hist.Quantile(0.50)
+			s.DelayP95 = hist.Quantile(0.95)
+			s.DelayP99 = hist.Quantile(0.99)
 		}
+		s.Candidates = stats.CandidatesInserted
+		s.MaxQueue = stats.MaxQueueSize
 		out = append(out, s)
 	}
 	return out, nil
 }
 
 // oneRun is a single measurement: checkpoint points, result count, TTF, and
-// (when recorded) the inter-result delays.
+// (when recorded) the inter-result delay histogram plus MEM(k) stats.
 type oneRun struct {
-	pts    []Point
-	n      int
-	ttf    float64
-	delays []float64
+	pts   []Point
+	n     int
+	ttf   float64
+	hist  obs.HistSnapshot
+	stats core.Stats
 }
 
 func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 	checkpoints := cfg.Checkpoints
 	k := cfg.K
+	opts := cfg.options()
+	// Delay recording rides the engine's own instrumentation: an attached
+	// trace stamps each Next and feeds the inter-result histogram, so the
+	// measurement loop itself stays timestamp-free.
+	var tr *obs.Trace
+	if cfg.RecordDelays {
+		tr = obs.NewTrace()
+		opts.Tracer = tr
+	}
 	start := time.Now()
-	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg, cfg.options())
+	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg, opts)
 	if err != nil {
 		return oneRun{}, err
 	}
 	defer it.Close()
 	var r oneRun
 	ci := 0
-	prev := 0.0
 	for k <= 0 || r.n < k {
 		_, ok := it.Next()
 		if !ok {
@@ -172,11 +196,6 @@ func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 		r.n++
 		if r.n == 1 {
 			r.ttf = time.Since(start).Seconds()
-			prev = r.ttf
-		} else if cfg.RecordDelays {
-			now := time.Since(start).Seconds()
-			r.delays = append(r.delays, now-prev)
-			prev = now
 		}
 		if checkpoints != nil {
 			for ci < len(checkpoints) && r.n == checkpoints[ci] {
@@ -187,6 +206,14 @@ func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 	}
 	// final point = TT(last)
 	r.pts = append(r.pts, Point{K: r.n, Seconds: time.Since(start).Seconds()})
+	if tr != nil {
+		// Stats before Close (a parallel Close interrupts shard producers),
+		// the delay snapshot after it (Close flushes the buffered delays of a
+		// K-limited run; it is idempotent, so the deferred Close is harmless).
+		r.stats = it.Stats()
+		it.Close()
+		r.hist = tr.DelaySnapshot()
+	}
 	return r, nil
 }
 
@@ -198,22 +225,6 @@ func median(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return s[len(s)/2]
-}
-
-// percentile reads the p-quantile of an already-sorted slice by nearest-rank
-// (ceil(p·n)), so the tail percentiles include the worst observations.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
 }
 
 func medianPoints(runs [][]Point) []Point {
@@ -264,6 +275,12 @@ func Print(w io.Writer, name string, series []Series) {
 			}
 		}
 		fmt.Fprintln(w)
+	}
+	for _, s := range series {
+		if s.Candidates > 0 || s.MaxQueue > 0 {
+			fmt.Fprintf(w, "MEM(k) %-14s candidates=%d max_queue=%d delay_p50=%.6fs p99=%.6fs\n",
+				s.Algorithm, s.Candidates, s.MaxQueue, s.DelayP50, s.DelayP99)
+		}
 	}
 	fmt.Fprintf(w, "(results produced: %d)\n\n", series[0].Total)
 }

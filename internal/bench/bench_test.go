@@ -134,6 +134,13 @@ func TestRecordDelaysAndRecords(t *testing.T) {
 	if s.DelayP50 < 0 || s.DelayP95 < s.DelayP50 || s.DelayP99 < s.DelayP95 {
 		t.Fatalf("percentiles not ordered: p50=%v p95=%v p99=%v", s.DelayP50, s.DelayP95, s.DelayP99)
 	}
+	// 50 results per rep × 2 reps ⇒ 49 delays each in the merged histogram.
+	if s.DelayHist.Count != 2*49 {
+		t.Fatalf("DelayHist.Count = %d, want %d", s.DelayHist.Count, 2*49)
+	}
+	if s.Candidates <= 0 || s.MaxQueue <= 0 {
+		t.Fatalf("MEM(k) counters missing: candidates=%d max_queue=%d", s.Candidates, s.MaxQueue)
+	}
 	recs := Records("figX", series)
 	if len(recs) != 1 {
 		t.Fatalf("%d records", len(recs))
@@ -141,6 +148,16 @@ func TestRecordDelaysAndRecords(t *testing.T) {
 	r := recs[0]
 	if r.Figure != "figX" || r.Series != "Take2" || r.N != s.Total || r.TTF != s.TTF {
 		t.Fatalf("record %+v does not mirror series %+v", r, s)
+	}
+	if r.Candidates != s.Candidates || r.MaxQueue != s.MaxQueue || len(r.DelayHist) == 0 {
+		t.Fatalf("record missing MEM(k)/histogram fields: %+v", r)
+	}
+	var histTotal uint64
+	for _, b := range r.DelayHist {
+		histTotal += b.Count
+	}
+	if histTotal != s.DelayHist.Count {
+		t.Fatalf("delay_hist buckets sum to %d, want %d", histTotal, s.DelayHist.Count)
 	}
 	if len(r.Points) == 0 || r.Total != s.Points[len(s.Points)-1].Seconds {
 		t.Fatalf("record total %v, points %v", r.Total, r.Points)

@@ -3,6 +3,8 @@ package bench
 import (
 	"encoding/json"
 	"os"
+
+	"anyk/internal/obs"
 )
 
 // Record is one machine-readable benchmark series, the unit of the
@@ -24,6 +26,15 @@ type Record struct {
 	DelayP50 float64 `json:"delay_p50_seconds"`
 	DelayP95 float64 `json:"delay_p95_seconds"`
 	DelayP99 float64 `json:"delay_p99_seconds"`
+	// DelayHist holds the populated buckets of the inter-result delay
+	// histogram (log-spaced, merged across reps); empty unless the run
+	// recorded delays.
+	DelayHist []obs.HistBucket `json:"delay_hist,omitempty"`
+	// Candidates and MaxQueue are the MEM(k) counters: candidates inserted
+	// into choice sets and the priority-queue high-water mark (0 unless the
+	// run recorded delays).
+	Candidates int `json:"candidates,omitempty"`
+	MaxQueue   int `json:"max_queue,omitempty"`
 	// Points is the TT(k) curve at the run's checkpoints.
 	Points []Point `json:"points"`
 }
@@ -33,14 +44,17 @@ func Records(figure string, series []Series) []Record {
 	out := make([]Record, 0, len(series))
 	for _, s := range series {
 		r := Record{
-			Figure:   figure,
-			Series:   s.Algorithm,
-			N:        s.Total,
-			TTF:      s.TTF,
-			DelayP50: s.DelayP50,
-			DelayP95: s.DelayP95,
-			DelayP99: s.DelayP99,
-			Points:   s.Points,
+			Figure:     figure,
+			Series:     s.Algorithm,
+			N:          s.Total,
+			TTF:        s.TTF,
+			DelayP50:   s.DelayP50,
+			DelayP95:   s.DelayP95,
+			DelayP99:   s.DelayP99,
+			DelayHist:  s.DelayHist.NonZeroBuckets(),
+			Candidates: s.Candidates,
+			MaxQueue:   s.MaxQueue,
+			Points:     s.Points,
 		}
 		if len(s.Points) > 0 {
 			r.Total = s.Points[len(s.Points)-1].Seconds

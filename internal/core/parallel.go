@@ -24,6 +24,10 @@ type mergeSource[W any] struct {
 	cur  []Row[W]
 	pos  int
 	done bool
+
+	// stats is the producer's final enumerator counters, published exactly
+	// once when the producer exits (before it closes ch — see produce).
+	stats atomic.Pointer[Stats]
 }
 
 // head returns the source's current first undelivered row.
@@ -83,6 +87,16 @@ func NewParallelMerge[W any](d dioid.Dioid[W], iters []RowIter[W]) *ParallelMerg
 // when the merge is closed.
 func (m *ParallelMerge[W]) produce(src *mergeSource[W], it RowIter[W]) {
 	defer close(src.ch)
+	if sr, ok := it.(StatsReporter); ok {
+		// Registered after close(src.ch), so LIFO defer order runs this
+		// capture first: by the time a consumer observes the closed channel,
+		// the final counters are already published. The producer owns the
+		// iterator here, so reading Stats is race-free.
+		defer func() {
+			s := sr.Stats()
+			src.stats.Store(&s)
+		}()
+	}
 	size := 1
 	block := make([]Row[W], 0, size)
 	for {
@@ -158,6 +172,20 @@ func (m *ParallelMerge[W]) Next() (Row[W], bool) {
 	}
 	m.lt.Fix()
 	return r, true
+}
+
+// Stats sums the counters of every shard enumerator whose producer has
+// exited. Once the merged stream is drained (Next returned false) or Close
+// has unparked the producers, the sum covers all shards exactly; while
+// producers are still running it under-reports, never over-reports.
+func (m *ParallelMerge[W]) Stats() Stats {
+	var total Stats
+	for _, src := range m.sources {
+		if p := src.stats.Load(); p != nil {
+			total.Add(*p)
+		}
+	}
+	return total
 }
 
 // Close stops the producer goroutines and makes subsequent Next calls return

@@ -25,6 +25,14 @@ func (e *partEnum[W]) Stats() Stats {
 	return Stats{CandidatesInserted: e.inserted, MaxQueueSize: e.maxQueue}
 }
 
+// Add accumulates o into s. Queue high-water marks add up rather than take
+// the max: concurrent enumerators (union branches, parallel shards) hold
+// their queues simultaneously, so the MEM(k) bound is the sum.
+func (s *Stats) Add(o Stats) {
+	s.CandidatesInserted += o.CandidatesInserted
+	s.MaxQueueSize += o.MaxQueueSize
+}
+
 // Stats implements StatsReporter for anyK-rec: counts memoized suffix and
 // combination entries across all groups and states.
 func (e *recEnum[W]) Stats() Stats {

@@ -39,6 +39,15 @@ func (it *graphIter[W]) Next() (Row[W], bool) {
 	return Row[W]{Vals: it.g.AssembleRow(sol.States, nil), Weight: sol.Weight, Tree: it.tree}, true
 }
 
+// Stats passes through to the underlying enumerator so wrapping in a
+// graphIter does not hide the MEM(k) counters from callers.
+func (it *graphIter[W]) Stats() Stats {
+	if sr, ok := it.e.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
 // unionIter realizes UT-DP (Section 5.2): a top-level priority queue holds
 // the current head row of every T-DP enumerator; popping a row advances its
 // tree.
@@ -72,6 +81,18 @@ func (u *unionIter[W]) Next() (Row[W], bool) {
 		u.pq.Push(r)
 	}
 	return top, true
+}
+
+// Stats sums the per-tree enumerator counters: each branch of a UT-DP union
+// holds its candidate queue live at the same time, so memory adds up.
+func (u *unionIter[W]) Stats() Stats {
+	var total Stats
+	for _, it := range u.iters {
+		if sr, ok := it.(StatsReporter); ok {
+			total.Add(sr.Stats())
+		}
+	}
+	return total
 }
 
 // dedupIter drops consecutive rows with identical values. With a
@@ -114,6 +135,14 @@ func equalVals(a, b []dpgraph.Value) bool {
 	return true
 }
 
+// Stats passes through the dedup filter unchanged.
+func (d *dedupIter[W]) Stats() Stats {
+	if sr, ok := d.in.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
+}
+
 // limitIter caps a stream at k rows.
 type limitIter[W any] struct {
 	in RowIter[W]
@@ -129,4 +158,12 @@ func (l *limitIter[W]) Next() (Row[W], bool) {
 	}
 	l.k--
 	return l.in.Next()
+}
+
+// Stats passes through the limit wrapper unchanged.
+func (l *limitIter[W]) Stats() Stats {
+	if sr, ok := l.in.(StatsReporter); ok {
+		return sr.Stats()
+	}
+	return Stats{}
 }

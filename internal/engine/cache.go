@@ -161,24 +161,25 @@ type prepared[W any] struct {
 
 // prepare returns the compiled plan for (db, q, d, semantics), consulting
 // opt.Cache when set. The returned key is the plan cache key ("" when
-// caching is off); graph-level memoization derives its keys from it.
-func prepare[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt Options) (*prepared[W], string, error) {
+// caching is off); graph-level memoization derives its keys from it. hit
+// reports whether the plan came out of the cache (always false without one).
+func prepare[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt Options) (p *prepared[W], key string, hit bool, err error) {
 	if opt.Cache == nil {
-		p, err := compile[W](db, q, d, opt)
-		return p, "", err
+		p, err = compile[W](db, q, d, opt)
+		return p, "", false, err
 	}
-	key := planCacheKey(db, q, d, opt.Semantics)
+	key = planCacheKey(db, q, d, opt.Semantics)
 	if v, ok := opt.Cache.lookup(key + "|plan"); ok {
 		if p, ok := v.(*prepared[W]); ok {
-			return p, key, nil
+			return p, key, true, nil
 		}
 	}
-	p, err := compile[W](db, q, d, opt)
+	p, err = compile[W](db, q, d, opt)
 	if err != nil {
-		return nil, "", err
+		return nil, "", false, err
 	}
 	opt.Cache.store(key+"|plan", p)
-	return p, key, nil
+	return p, key, false, nil
 }
 
 // cachedGraphs memoizes the build+bottom-up of a plan's trees under the

@@ -18,12 +18,15 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
+	"time"
 
 	"anyk/internal/core"
 	"anyk/internal/decomp"
 	"anyk/internal/dioid"
 	"anyk/internal/dpgraph"
 	"anyk/internal/hypertree"
+	"anyk/internal/obs"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -64,6 +67,11 @@ type Options struct {
 	// start-up for their time-to-first-result; any mutation of the database
 	// changes its version and misses. Safe for concurrent sessions.
 	Cache *Cache
+	// Tracer, when non-nil, records per-query phase spans (compile, build,
+	// merge, first-next), inter-result delays, and final MEM(k) counters on
+	// the trace. Nil (the default) keeps every instrumented path at a single
+	// pointer comparison — the zero-cost off switch.
+	Tracer *obs.Trace
 
 	// planKey is the resolved compiled-plan cache key for this invocation;
 	// Enumerate sets it so EnumerateUnion can derive graph-layer keys.
@@ -131,10 +139,71 @@ type Iterator[W any] struct {
 	// Plan describes the chosen decomposition route.
 	Plan   *PlanInfo
 	closer func()
+
+	// trace instrumentation (set only when Options.Tracer was non-nil):
+	// born anchors the first-next span, lastNext carries the previous Next's
+	// unix-nano timestamp for the inter-result delay histogram, delays
+	// buffers histogram observations off the hot path (flushed on exhaustion
+	// and Close), statsDone latches the one-shot MEM(k) counter capture.
+	// lastNext needs no atomic: it is touched only inside Next, whose callers
+	// already serialize (Close never reads it).
+	trace     *obs.Trace
+	born      time.Time
+	lastNext  int64
+	delays    *obs.DelayBuf
+	statsDone atomic.Bool
 }
 
 // Next returns the next row in rank order.
-func (it *Iterator[W]) Next() (core.Row[W], bool) { return it.it.Next() }
+func (it *Iterator[W]) Next() (core.Row[W], bool) {
+	if it.trace == nil {
+		return it.it.Next()
+	}
+	return it.tracedNext()
+}
+
+// tracedNext is Next with trace bookkeeping: the first call closes the
+// first-next span (time-to-first-result, measured from iterator creation),
+// every later successful call feeds the inter-result delay histogram, and
+// exhaustion captures the final MEM(k) counters.
+func (it *Iterator[W]) tracedNext() (core.Row[W], bool) {
+	r, ok := it.it.Next()
+	now := time.Now()
+	prev := it.lastNext
+	it.lastNext = now.UnixNano()
+	if prev == 0 {
+		it.trace.RecordSpan("first-next", it.born, now)
+	} else if ok {
+		it.delays.Observe(time.Duration(now.UnixNano() - prev))
+	}
+	if !ok {
+		it.finalizeStats()
+	}
+	return r, ok
+}
+
+// Stats reports the enumerator-side MEM(k) counters of the underlying
+// stream: exact for serial iterators at any point, and for parallel
+// iterators exact once the stream is drained (partial while shard producers
+// still run — see core.ParallelMerge.Stats).
+func (it *Iterator[W]) Stats() core.Stats {
+	if sr, ok := it.it.(core.StatsReporter); ok {
+		return sr.Stats()
+	}
+	return core.Stats{}
+}
+
+// finalizeStats flushes the buffered delay observations and copies the final
+// MEM(k) counters onto the trace, once.
+func (it *Iterator[W]) finalizeStats() {
+	if it.trace == nil || !it.statsDone.CompareAndSwap(false, true) {
+		return
+	}
+	it.delays.Flush()
+	s := it.Stats()
+	it.trace.SetCounter("candidates_inserted", int64(s.CandidatesInserted))
+	it.trace.SetCounter("max_queue_size", int64(s.MaxQueueSize))
+}
 
 // Close releases the producer goroutines of a parallel iterator. It is
 // required when abandoning a Parallelism > 1 stream before exhaustion, a
@@ -143,6 +212,7 @@ func (it *Iterator[W]) Close() {
 	if it.closer != nil {
 		it.closer()
 	}
+	it.finalizeStats()
 }
 
 // Drain collects up to k rows (k ≤ 0 drains everything). A truncating drain
@@ -171,9 +241,16 @@ func Enumerate[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], alg core.A
 	if len(opts) > 0 {
 		opt = opts[0]
 	}
-	prep, planKey, err := prepare[W](db, q, d, opt)
+	sp := opt.Tracer.Begin("compile")
+	prep, planKey, hit, err := prepare[W](db, q, d, opt)
+	opt.Tracer.End(sp)
 	if err != nil {
 		return nil, err
+	}
+	if hit {
+		opt.Tracer.SetCounter("plan_cache_hit", 1)
+	} else {
+		opt.Tracer.SetCounter("plan_cache_hit", 0)
 	}
 	bindings, err := typedSchema(db, q, prep.outVars)
 	if err != nil {
@@ -267,21 +344,29 @@ func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], ou
 	if p := opt.parallelism(); p > 1 {
 		return enumerateParallel[W](d, trees, outVars, alg, opt, p)
 	}
+	buildSpan := opt.Tracer.Begin("build")
 	graphs, err := cachedGraphs(opt, opt.planKey, "serial", func() ([]unionGraph[W], error) {
 		out := make([]unionGraph[W], 0, len(trees))
 		for i, inputs := range trees {
+			treeSpan := opt.Tracer.BeginChild(buildSpan, fmt.Sprintf("tree-%d", i))
 			g, err := dpgraph.Build[W](d, inputs, outVars)
 			if err != nil {
 				return nil, fmt.Errorf("tree %d: %w", i, err)
 			}
 			g.BottomUp()
+			opt.Tracer.End(treeSpan)
 			out = append(out, unionGraph[W]{g: g, tree: i})
 		}
 		return out, nil
 	})
+	opt.Tracer.End(buildSpan)
 	if err != nil {
 		return nil, err
 	}
+	// The merge span covers enumerator construction and union/dedup wiring —
+	// the serial counterpart of the parallel path's loser-tree setup, so the
+	// phase appears under the same name on both routes.
+	mergeSpan := opt.Tracer.Begin("merge")
 	iters := make([]core.RowIter[W], 0, len(graphs))
 	for _, ug := range graphs {
 		if ug.g.Empty() {
@@ -301,7 +386,8 @@ func EnumerateUnion[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], ou
 	if opt.Dedup {
 		it = core.NewDedup[W](it)
 	}
-	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees)}, nil
+	opt.Tracer.End(mergeSpan)
+	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), trace: opt.Tracer, delays: opt.Tracer.DelayBuf(), born: time.Now()}, nil
 }
 
 // annotateParallel records the parallel layout on a plan.

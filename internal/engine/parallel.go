@@ -12,10 +12,12 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"anyk/internal/core"
 	"anyk/internal/dioid"
 	"anyk/internal/dpgraph"
+	"anyk/internal/obs"
 )
 
 // shardStage picks the stage whose choice set is partitioned: the first
@@ -65,15 +67,18 @@ func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W],
 	// The shard layout is a deterministic function of (trees, p), so the
 	// built graphs are memoizable per parallelism setting; warm sessions
 	// skip straight to wiring up the merge.
+	buildSpan := opt.Tracer.Begin("build")
 	graphs, err := cachedGraphs(opt, opt.planKey, fmt.Sprintf("p=%d", p), func() ([]unionGraph[W], error) {
-		return buildShardGraphs(d, trees, outVars, p)
+		return buildShardGraphs(d, trees, outVars, p, opt.Tracer, buildSpan)
 	})
+	opt.Tracer.End(buildSpan)
 	if err != nil {
 		return nil, err
 	}
 	if len(graphs) == 0 { // no trees at all
-		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: 0}, nil
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: 0, trace: opt.Tracer, delays: opt.Tracer.DelayBuf(), born: time.Now()}, nil
 	}
+	mergeSpan := opt.Tracer.Begin("merge")
 	iters := make([]core.RowIter[W], 0, len(graphs))
 	for _, ug := range graphs {
 		if ug.g.Empty() {
@@ -82,21 +87,24 @@ func enumerateParallel[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W],
 		iters = append(iters, core.NewGraphIter[W](ug.g, core.New[W](ug.g, alg), ug.tree))
 	}
 	if len(iters) == 0 {
-		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: len(trees)}, nil
+		opt.Tracer.End(mergeSpan)
+		return &Iterator[W]{Vars: outVars, it: emptyIter[W]{}, Trees: len(trees), trace: opt.Tracer, delays: opt.Tracer.DelayBuf(), born: time.Now()}, nil
 	}
 	m := core.NewParallelMerge[W](d, iters)
 	var it core.RowIter[W] = m
 	if opt.Dedup {
 		it = core.NewDedup[W](it)
 	}
-	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), Shards: len(iters), closer: m.Close}, nil
+	opt.Tracer.End(mergeSpan)
+	return &Iterator[W]{Vars: outVars, it: it, Trees: len(trees), Shards: len(iters), closer: m.Close, trace: opt.Tracer, delays: opt.Tracer.DelayBuf(), born: time.Now()}, nil
 }
 
 // buildShardGraphs shards every tree and runs build + bottom-up for all
 // shards across a worker pool of size p. When sharding degenerated (fewer
 // shards than workers), the spare workers go into the per-stage DP
-// parallelism instead.
-func buildShardGraphs[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, p int) ([]unionGraph[W], error) {
+// parallelism instead. Each shard's build gets a child span under parent on
+// tr; obs.Trace is concurrency-safe, so the workers record directly.
+func buildShardGraphs[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], outVars []string, p int, tr *obs.Trace, parent obs.SpanID) ([]unionGraph[W], error) {
 	type shard struct {
 		inputs []dpgraph.StageInput[W]
 		tree   int
@@ -124,6 +132,7 @@ func buildShardGraphs[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], 
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			sp := tr.BeginChild(parent, fmt.Sprintf("shard-%d", i))
 			g, err := dpgraph.Build[W](d, shards[i].inputs, outVars)
 			if err != nil {
 				errs[i] = fmt.Errorf("tree %d: %w", shards[i].tree, err)
@@ -131,6 +140,7 @@ func buildShardGraphs[W any](d dioid.Dioid[W], trees [][]dpgraph.StageInput[W], 
 			}
 			g.BottomUpP(workersPer)
 			graphs[i] = unionGraph[W]{g: g, tree: shards[i].tree}
+			tr.End(sp)
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks that r is well-formed Prometheus text exposition
+// (version 0.0.4): HELP/TYPE at most once per family and before its samples,
+// known TYPE values, syntactically valid metric names, label sets, and
+// sample values, no duplicate samples, and nonnegative finite counter
+// values. It is the check behind the CI smoke step that scrapes a live
+// anykd — a scrape that fails here would also fail a real Prometheus server.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{} // family → declared TYPE
+	helped := map[string]bool{}  // family → HELP seen
+	sampled := map[string]bool{} // family → sample seen (TYPE must precede)
+	seen := map[string]bool{}    // name+labels → duplicate detection
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, helped, sampled); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := validateSample(line, types, sampled, seen); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading exposition: %w", err)
+	}
+	return nil
+}
+
+func validateComment(line string, types map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		if helped[fields[2]] {
+			return fmt.Errorf("duplicate HELP for %s", fields[2])
+		}
+		helped[fields[2]] = true
+	case "TYPE":
+		if len(fields) != 4 || !metricNameRE.MatchString(fields[2]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %s", fields[3], fields[2])
+		}
+		if _, dup := types[fields[2]]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", fields[2])
+		}
+		if sampled[fields[2]] {
+			return fmt.Errorf("TYPE for %s after its samples", fields[2])
+		}
+		types[fields[2]] = fields[3]
+	}
+	return nil
+}
+
+func validateSample(line string, types map[string]string, sampled, seen map[string]bool) error {
+	name, rest, err := splitName(line)
+	if err != nil {
+		return err
+	}
+	labels := ""
+	if strings.HasPrefix(rest, "{") {
+		end, err := scanLabels(rest)
+		if err != nil {
+			return fmt.Errorf("sample %s: %w", name, err)
+		}
+		labels, rest = rest[:end], rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	valueField := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		valueField = rest[:i]
+		ts := strings.TrimSpace(rest[i:])
+		if ts != "" {
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return fmt.Errorf("sample %s: invalid timestamp %q", name, ts)
+			}
+		}
+	}
+	v, err := parseSampleValue(valueField)
+	if err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	fam := familyOf(name, types)
+	sampled[fam] = true
+	if t, ok := types[fam]; ok && (t == "counter" || t == "histogram") {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("sample %s: %s value %v is not a nonnegative finite number", name, t, v)
+		}
+	}
+	key := name + labels
+	if seen[key] {
+		return fmt.Errorf("duplicate sample %s%s", name, labels)
+	}
+	seen[key] = true
+	return nil
+}
+
+// splitName peels the metric name off a sample line.
+func splitName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && !strings.ContainsRune(" \t{", rune(line[i])) {
+		i++
+	}
+	name = line[:i]
+	if !metricNameRE.MatchString(name) {
+		return "", "", fmt.Errorf("invalid metric name %q", name)
+	}
+	return name, line[i:], nil
+}
+
+// scanLabels validates a {k="v",...} block and returns the index just past
+// the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(s) && (s[i] == ' ' || s[i] == '\t') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' && s[i] != '}' {
+			i++
+		}
+		if i >= len(s) || s[i] != '=' {
+			return 0, fmt.Errorf("malformed label block %q", s)
+		}
+		if !labelNameRE.MatchString(strings.TrimSpace(s[start:i])) {
+			return 0, fmt.Errorf("invalid label name %q", s[start:i])
+		}
+		i++ // past '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+				if i >= len(s) || (s[i] != '\\' && s[i] != '"' && s[i] != 'n') {
+					return 0, fmt.Errorf("bad escape in label value of %q", s)
+				}
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // past closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+			continue
+		}
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		return 0, fmt.Errorf("malformed label block %q", s)
+	}
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "":
+		return 0, fmt.Errorf("missing value")
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid value %q", s)
+	}
+	return v, nil
+}
+
+// familyOf maps a sample name onto its metric family: histogram/summary
+// series drop the _bucket/_sum/_count suffix when a TYPE was declared for
+// the base name.
+func familyOf(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suf)
+		if !ok {
+			continue
+		}
+		if t := types[base]; t == "histogram" || t == "summary" {
+			// _sum and _bucket series of a histogram are exempt from the
+			// counter value check only via their own names; the base family
+			// is what TYPE declared.
+			return base
+		}
+	}
+	return name
+}

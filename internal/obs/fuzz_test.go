@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzValidateExposition: the exposition validator takes scraped bytes — in
+// CI it reads whatever a possibly-broken build of anykd served — so it must
+// never panic, whatever the input. Seeds cover the grammar's branches; the
+// final seed is a real registry rendering so coverage guidance starts from
+// the accepting path.
+func FuzzValidateExposition(f *testing.F) {
+	f.Add("# HELP m help\n# TYPE m counter\nm 1\n")
+	f.Add("# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0.1\nh_count 2\n")
+	f.Add("m{a=\"x\\\"y\",b=\"\\\\\"} 1 123\n")
+	f.Add("# TYPE g gauge\ng NaN\ng{x=\"\"} -Inf\n")
+	f.Add("m{") // truncated label block
+	f.Add("#\n# X\n\n\n")
+	r := NewRegistry()
+	r.Counter("seed_total", "seed", "route", "/a").Inc()
+	r.Histogram("seed_seconds", "seed").Observe(0.01)
+	var buf bytes.Buffer
+	_ = r.WritePrometheus(&buf)
+	f.Add(buf.String())
+	f.Fuzz(func(t *testing.T, s string) {
+		_ = ValidateExposition(strings.NewReader(s)) // must not panic
+	})
+}

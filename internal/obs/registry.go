@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a programmer error and are dropped —
+// counters are monotone by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// member is one labeled instance of a metric family. Exactly one of counter,
+// fn, and hist is set, matching the family kind (fn also backs
+// callback-valued counters, e.g. counts owned by another subsystem).
+type member struct {
+	labels  []string // sorted key/value pairs
+	counter *Counter
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family is one metric name: its metadata plus every labeled member.
+type family struct {
+	name, help string
+	kind       metricKind
+	members    map[string]*member // keyed by canonical label rendering
+	order      []string           // registration-ordered keys, sorted at scrape
+}
+
+// Registry holds metric families and renders them as Prometheus text
+// exposition. Get-or-create lookups take a mutex — callers on per-request
+// paths pay a map lookup, while Observe/Inc on the returned handles are
+// lock-free. Metric and label names are validated at registration; a name
+// reused with a different kind or help string panics, since that is a
+// programming error the exposition format cannot represent.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// canonLabels validates and canonicalizes variadic key/value label pairs.
+func canonLabels(labels []string) ([]string, string) {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	pairs := make([][2]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !labelNameRE.MatchString(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		pairs = append(pairs, [2]string{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	flat := make([]string, 0, len(pairs)*2)
+	var sb strings.Builder
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", p[0], escapeLabelValue(p[1]))
+		flat = append(flat, p[0], p[1])
+	}
+	return flat, sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(v)
+}
+
+// get resolves (or creates) the member for (name, labels) under kind.
+func (r *Registry) get(name, help string, kind metricKind, labels []string) *member {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	flat, key := canonLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, members: map[string]*member{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m, ok := f.members[key]
+	if !ok {
+		m = &member{labels: flat}
+		switch kind {
+		case kindCounter:
+			m.counter = &Counter{}
+		case kindHistogram:
+			m.hist = &Histogram{}
+		}
+		f.members[key] = m
+		f.order = append(f.order, key)
+	}
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it on first use.
+// labels are alternating key/value pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.get(name, help, kindCounter, labels).counter
+}
+
+// CounterFunc registers a callback-valued counter: the value is owned by
+// another subsystem (a session manager, a cache) and read at scrape time.
+// The callback must be monotone and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.get(name, help, kindCounter, labels).fn = fn
+}
+
+// GaugeFunc registers a callback gauge, read at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.get(name, help, kindGauge, labels).fn = fn
+}
+
+// Histogram returns the histogram for (name, labels), creating it on first
+// use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.get(name, help, kindHistogram, labels).hist
+}
+
+// Sample is one labeled value in a registry snapshot. Hist is set instead of
+// Value for histogram families.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+	Hist   *HistSnapshot
+}
+
+// FamilySnapshot is one metric family in a registry snapshot.
+type FamilySnapshot struct {
+	Name, Help, Type string
+	Samples          []Sample
+}
+
+// Snapshot returns a point-in-time copy of every family, sorted by name and
+// by canonical label string within a family. Callback values are evaluated
+// during the snapshot, outside hot paths; callbacks must not call back into
+// the registry.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Help: f.help, Type: f.kind.String()}
+		r.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		members := make([]*member, len(keys))
+		sort.Strings(keys)
+		for i, k := range keys {
+			members[i] = f.members[k]
+		}
+		r.mu.Unlock()
+		for _, m := range members {
+			s := Sample{Labels: map[string]string{}}
+			for i := 0; i < len(m.labels); i += 2 {
+				s.Labels[m.labels[i]] = m.labels[i+1]
+			}
+			switch {
+			case m.hist != nil:
+				h := m.hist.Snapshot()
+				s.Hist = &h
+			case m.fn != nil:
+				s.Value = m.fn()
+			default:
+				s.Value = float64(m.counter.Value())
+			}
+			fs.Samples = append(fs.Samples, s)
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE pair per family, histograms as
+// cumulative _bucket series plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Snapshot() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, s := range f.Samples {
+			if s.Hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(s.Labels, "", 0), formatValue(s.Value)); err != nil {
+					return err
+				}
+				continue
+			}
+			var cum uint64
+			for _, b := range s.Hist.Buckets {
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, renderLabels(s.Labels, "le", b.LE), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, renderLabels(s.Labels, "", 0), formatValue(s.Hist.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, renderLabels(s.Labels, "", 0), s.Hist.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func escapeHelp(h string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+// renderLabels renders a label set (plus an optional le bucket label) as
+// {k="v",...}, or "" when empty.
+func renderLabels(labels map[string]string, leName string, le float64) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", k, escapeLabelValue(labels[k]))
+	}
+	if leName != "" {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		leStr := "+Inf"
+		if !math.IsInf(le, 1) {
+			leStr = strconv.FormatFloat(le, 'g', -1, 64)
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", leName, leStr)
+	}
+	if sb.Len() == 0 {
+		return ""
+	}
+	return "{" + sb.String() + "}"
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

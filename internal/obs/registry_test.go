@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total", "requests", "route", "/a", "code", "200").Add(3)
+	r.Counter("requests_total", "requests", "code", "200", "route", "/a").Inc() // same metric, label order canonicalized
+	r.Counter("requests_total", "requests", "route", "/b", "code", "500").Inc()
+	var seen int64
+	for _, f := range r.Snapshot() {
+		if f.Name != "requests_total" {
+			continue
+		}
+		if f.Type != "counter" {
+			t.Fatalf("type %q", f.Type)
+		}
+		for _, s := range f.Samples {
+			seen += int64(s.Value)
+			if s.Labels["route"] == "/a" && s.Value != 4 {
+				t.Fatalf("route /a = %v, want 4 (label order must not split the metric)", s.Value)
+			}
+		}
+	}
+	if seen != 5 {
+		t.Fatalf("total %d", seen)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reusing a counter name as a histogram must panic")
+		}
+	}()
+	r.Histogram("m", "")
+}
+
+func TestWritePrometheusValidatesAndRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anykd_requests_total", "HTTP requests served.", "route", "/v1/queries", "code", "200").Add(7)
+	r.GaugeFunc("anykd_sessions_live", "Live sessions.", func() float64 { return 3 })
+	h := r.Histogram("anykd_request_seconds", "Request latency.", "route", "/v1/queries")
+	h.Observe(0.002)
+	h.Observe(0.004)
+	r.Counter("odd_label_total", "Labels with \"quotes\" and\nnewlines.", "path", `a\b"c`+"\n").Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if err := ValidateExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("our own exposition does not validate: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE anykd_requests_total counter",
+		`anykd_requests_total{code="200",route="/v1/queries"} 7`,
+		"# TYPE anykd_sessions_live gauge",
+		"anykd_sessions_live 3",
+		"# TYPE anykd_request_seconds histogram",
+		`anykd_request_seconds_bucket{route="/v1/queries",le="+Inf"} 2`,
+		`anykd_request_seconds_count{route="/v1/queries"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestValidateExpositionRejects feeds the validator malformed expositions.
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"duplicate TYPE":    "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"duplicate HELP":    "# HELP m a\n# HELP m b\n",
+		"unknown TYPE":      "# TYPE m enum\n",
+		"TYPE after sample": "m 1\n# TYPE m counter\n",
+		"bad name":          "1m 2\n",
+		"bad value":         "m one\n",
+		"missing value":     "m \n",
+		"negative counter":  "# TYPE m counter\nm -1\n",
+		"duplicate sample":  "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"unquoted label":    "m{a=1} 2\n",
+		"unterminated":      "m{a=\"1 2\n",
+		"bad escape":        `m{a="\q"} 1` + "\n",
+	}
+	for name, body := range cases {
+		if err := ValidateExposition(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: validated but should not:\n%s", name, body)
+		}
+	}
+	// And well-formed corner cases must pass.
+	ok := "# bare comment\n\n# TYPE m counter\nm{a=\"x\",b=\"y\"} 1 1712345678\nm 2\n# TYPE g gauge\ng NaN\ng{x=\"1\"} -5\n"
+	if err := ValidateExposition(strings.NewReader(ok)); err != nil {
+		t.Fatalf("well-formed exposition rejected: %v", err)
+	}
+}
+
+// TestRegistryConcurrent exercises get-or-create and scraping concurrently
+// under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c_total", "c", "w", string(rune('a'+w%4))).Inc()
+				r.Histogram("h_seconds", "h").Observe(1e-5)
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var total float64
+	for _, f := range r.Snapshot() {
+		if f.Name == "c_total" {
+			for _, s := range f.Samples {
+				total += s.Value
+			}
+		}
+	}
+	if total != 8*200 {
+		t.Fatalf("lost increments: %v", total)
+	}
+}

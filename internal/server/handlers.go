@@ -8,8 +8,10 @@
 //	POST   /v1/queries                          open an enumeration session
 //	GET    /v1/queries/{id}                     session status (paging cursor)
 //	GET    /v1/queries/{id}/next?k=N            next N ranked rows
+//	GET    /v1/queries/{id}/stats               per-session phase/delay trace
 //	DELETE /v1/queries/{id}                     close a session
-//	GET    /v1/metrics                          counters snapshot
+//	GET    /v1/metrics                          counters snapshot (JSON)
+//	GET    /metrics                             Prometheus text exposition
 //	GET    /healthz                             liveness
 //
 // Sessions hold the underlying any-k iterator, so a client pages through
@@ -31,11 +33,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"anyk/internal/dataset"
 	"anyk/internal/engine"
+	"anyk/internal/obs"
 	"anyk/internal/relation"
 )
 
@@ -51,15 +53,6 @@ const maxUploadBytes = 256 << 20
 // machine, low enough that a handful of concurrent sessions cannot pile up
 // unbounded goroutines.
 const defaultMaxParallelism = 8
-
-// Metrics counts server activity; all fields are atomics so handlers update
-// them lock-free.
-type Metrics struct {
-	Requests        atomic.Int64
-	Errors          atomic.Int64
-	DatasetsCreated atomic.Int64
-	RowsServed      atomic.Int64
-}
 
 // datasetEntry is one registry slot: the copy-on-write database plus its
 // compiled-plan cache. The cache object survives dataset replacement (its
@@ -78,11 +71,19 @@ type Server struct {
 
 	Sessions *Manager
 	Log      *slog.Logger
-	Metrics  Metrics
+	// Reg is the server's metric registry: every counter, gauge, and
+	// histogram behind /metrics and /v1/metrics. New wires the session and
+	// plan-cache gauges; handlers register labeled members lazily.
+	Reg *obs.Registry
 	// MaxParallelism caps the per-session parallelism clients may request
 	// (requests above it are clamped, not rejected). 0 uses
 	// defaultMaxParallelism; set before serving.
 	MaxParallelism int
+
+	// Hot-path counters, resolved once in New so handlers skip the registry's
+	// get-or-create lock per row page.
+	rowsServed      *obs.Counter
+	datasetsCreated *obs.Counter
 }
 
 // maxParallelism resolves the per-session cap.
@@ -99,11 +100,44 @@ func New(sessions *Manager, logger *slog.Logger) *Server {
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
 	}
-	return &Server{
-		datasets: map[string]*datasetEntry{},
-		Sessions: sessions,
-		Log:      logger,
+	reg := obs.NewRegistry()
+	s := &Server{
+		datasets:        map[string]*datasetEntry{},
+		Sessions:        sessions,
+		Log:             logger,
+		Reg:             reg,
+		rowsServed:      reg.Counter("anykd_rows_served_total", "Ranked result rows served across all sessions."),
+		datasetsCreated: reg.Counter("anykd_datasets_created_total", "Datasets created or replaced."),
 	}
+	// Session-table and plan-cache metrics read live state at scrape time
+	// instead of shadowing it in a second set of counters.
+	reg.GaugeFunc("anykd_sessions_live", "Enumeration sessions currently held.",
+		func() float64 { return float64(sessions.Len()) })
+	reg.CounterFunc("anykd_sessions_created_total", "Enumeration sessions ever created.",
+		func() float64 { return float64(sessions.Created()) })
+	reg.CounterFunc("anykd_sessions_evicted_total", "Sessions removed by TTL or LRU eviction.",
+		func() float64 { return float64(sessions.Evicted()) })
+	reg.CounterFunc("anykd_plan_cache_hits_total", "Compiled-plan cache hits, summed over datasets.",
+		func() float64 { return float64(s.cacheStats().Hits) })
+	reg.CounterFunc("anykd_plan_cache_misses_total", "Compiled-plan cache misses, summed over datasets.",
+		func() float64 { return float64(s.cacheStats().Misses) })
+	reg.GaugeFunc("anykd_plan_cache_entries", "Live compiled-plan cache entries, summed over datasets.",
+		func() float64 { return float64(s.cacheStats().Entries) })
+	return s
+}
+
+// cacheStats aggregates the per-dataset compiled-plan cache counters.
+func (s *Server) cacheStats() engine.CacheStats {
+	var cs engine.CacheStats
+	s.mu.RLock()
+	for _, entry := range s.datasets {
+		st := entry.cache.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Entries += st.Entries
+	}
+	s.mu.RUnlock()
+	return cs
 }
 
 // swapDataset installs db under name, reusing the slot's cache object (purged
@@ -128,41 +162,101 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/queries", s.handleCreateQuery)
 	mux.HandleFunc("GET /v1/queries/{id}", s.handleGetSession)
 	mux.HandleFunc("GET /v1/queries/{id}/next", s.handleNext)
+	mux.HandleFunc("GET /v1/queries/{id}/stats", s.handleSessionStats)
+	// /v1/sessions/{id}/stats is an alias: sessions are created under
+	// /v1/queries, but monitoring tooling addresses them as sessions.
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleSessionStats)
 	mux.HandleFunc("DELETE /v1/queries/{id}", s.handleDeleteSession)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s.instrument(mux)
 }
 
-// statusWriter records the response status for the request log.
+// statusWriter records the response status for the request log and metrics.
+//
+// Wrapping pitfall: embedding http.ResponseWriter forwards only that
+// interface's three methods. Whether the wrapper satisfies the *optional*
+// interfaces the underlying writer implements (http.Flusher, io.ReaderFrom,
+// http.Hijacker, ...) is decided by the wrapper's own method set, so the
+// plain embed silently strips them — a streaming handler's Flush calls, for
+// example, would become no-ops the moment the middleware wraps the writer.
+// Flush is therefore forwarded explicitly, and Unwrap exposes the underlying
+// writer so http.NewResponseController can discover the rest.
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
-	w.status = code
+	if !w.wroteHeader {
+		w.status = code
+		w.wroteHeader = true
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps h with request counting and structured request logging.
+func (w *statusWriter) Write(p []byte) (int, error) {
+	w.wroteHeader = true // an unpreceded Write implies the recorded 200
+	return w.ResponseWriter.Write(p)
+}
+
+// Flush passes through to the underlying writer's http.Flusher, if any.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// optional capabilities (deadlines, hijacking) through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel is the bounded-cardinality route label for request metrics: the
+// matched ServeMux pattern, never the raw path (which would mint a label
+// value per session id).
+func routeLabel(r *http.Request) string {
+	if r.Pattern != "" {
+		return r.Pattern
+	}
+	return "unmatched"
+}
+
+// instrument wraps h with panic recovery, per-route request counting, a
+// per-route latency histogram, and structured request logging. Metrics are
+// recorded after ServeHTTP returns, when the mux has stamped r.Pattern.
 func (s *Server) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		s.Metrics.Requests.Add(1)
+		defer func() {
+			route := routeLabel(r)
+			if rec := recover(); rec != nil {
+				s.Reg.Counter("anykd_http_panics_total", "Handler panics recovered by the middleware.",
+					"route", route).Inc()
+				s.Log.Error("panic in handler", "route", route, "path", r.URL.Path, "panic", rec)
+				if !sw.wroteHeader {
+					writeError(sw, http.StatusInternalServerError, CodeInternal, "internal server error")
+				} else {
+					sw.status = http.StatusInternalServerError // reflect the failure in metrics
+				}
+			}
+			s.Reg.Counter("anykd_http_requests_total", "HTTP requests served.",
+				"route", route, "code", strconv.Itoa(sw.status)).Inc()
+			s.Reg.Histogram("anykd_http_request_seconds", "HTTP request latency by route.",
+				"route", route).Observe(time.Since(start).Seconds())
+			s.Log.Info("request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", route,
+				"status", sw.status,
+				"duration", time.Since(start),
+			)
+		}()
 		h.ServeHTTP(sw, r)
-		if sw.status >= 400 {
-			s.Metrics.Errors.Add(1)
-		}
-		s.Log.Info("request",
-			"method", r.Method,
-			"path", r.URL.Path,
-			"status", sw.status,
-			"duration", time.Since(start),
-		)
 	})
 }
 
@@ -255,7 +349,7 @@ func (s *Server) handleCreateDataset(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.swapDataset(req.Name, db)
 	s.mu.Unlock()
-	s.Metrics.DatasetsCreated.Add(1)
+	s.datasetsCreated.Inc()
 	s.Log.Info("dataset created", "name", req.Name, "kind", req.Kind)
 	writeJSON(w, http.StatusCreated, resp)
 }
@@ -479,7 +573,21 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sess := s.Sessions.Create(o.it, o.q.String(), o.dioid, o.alg.String())
+	// The session is already reachable by id, so its trace installs under Mu.
+	sess.Mu.Lock()
+	sess.Trace = o.trace
+	sess.Mu.Unlock()
+	s.Reg.Counter("anykd_sessions_opened_total", "Sessions opened, by any-k algorithm.",
+		"algorithm", o.alg.String()).Inc()
 	s.Log.Info("session created", "id", sess.ID, "query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
+	if s.Log.Enabled(r.Context(), slog.LevelDebug) {
+		// Mirror the compile/build/merge spans into the structured log at -v,
+		// so phase timings are greppable without hitting the stats endpoint.
+		for _, sp := range o.trace.Snapshot().Spans {
+			s.Log.Debug("span", "session", sess.ID, "name", sp.Name,
+				"start_s", sp.StartSeconds, "duration_s", sp.DurationSeconds)
+		}
+	}
 	writeJSON(w, http.StatusCreated, QueryResponse{
 		ID: sess.ID, Vars: o.it.Vars(), Types: wireTypes(o.it), Trees: o.it.Trees(), Plan: o.it.Plan()})
 }
@@ -554,6 +662,11 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			// truncated, not complete.
 			if sess.Ctx.Err() == nil {
 				sess.MarkDone()
+				if sess.Trace != nil && s.Log.Enabled(r.Context(), slog.LevelDebug) {
+					d := sess.Trace.DelaySnapshot()
+					s.Log.Debug("session drained", "id", sess.ID, "served", sess.Served,
+						"delay_p50_s", d.Quantile(0.5), "delay_p99_s", d.Quantile(0.99))
+				}
 			}
 			break
 		}
@@ -569,8 +682,61 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Served, resp.Done = sess.Served, sess.IsDone()
 	sess.Mu.Unlock()
-	s.Metrics.RowsServed.Add(int64(len(resp.Rows)))
+	s.rowsServed.Add(int64(len(resp.Rows)))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionStats reports one session's observability snapshot: the phase
+// span tree and delay histogram from its trace, plus the live MEM(k)
+// counters read straight off the iterator (exact once the stream is
+// drained; a parallel session mid-stream under-reports, never over-reports).
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess := s.acquireSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.Mu.Lock()
+	st := sess.It.Stats()
+	resp := SessionStatsResponse{
+		ID:                 sess.ID,
+		Served:             sess.Served,
+		Done:               sess.IsDone(),
+		CandidatesInserted: st.CandidatesInserted,
+		MaxQueueSize:       st.MaxQueueSize,
+	}
+	if sess.Trace != nil {
+		snap := sess.Trace.Snapshot()
+		resp.Phases = make([]PhaseSpan, len(snap.Spans))
+		for i, sp := range snap.Spans {
+			resp.Phases[i] = PhaseSpan{
+				Name:            sp.Name,
+				Parent:          sp.Parent,
+				StartSeconds:    sp.StartSeconds,
+				DurationSeconds: sp.DurationSeconds,
+			}
+		}
+		if d := snap.Delays; d.Count > 0 {
+			resp.Delay = &DelayStats{
+				Count:       d.Count,
+				MeanSeconds: d.Sum / float64(d.Count),
+				P50Seconds:  d.Quantile(0.50),
+				P90Seconds:  d.Quantile(0.90),
+				P99Seconds:  d.Quantile(0.99),
+				MaxSeconds:  d.Max,
+			}
+		}
+	}
+	sess.Mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handlePrometheus serves the registry in Prometheus text exposition format
+// (version 0.0.4), hand-rolled in internal/obs — no client library.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.Reg.WritePrometheus(w); err != nil {
+		s.Log.Error("writing /metrics", "err", err)
+	}
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
@@ -582,26 +748,56 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleMetrics renders the JSON counter snapshot. The top-level fields keep
+// their pre-registry names and meanings; totals are folded out of the same
+// registry /metrics scrapes, so the two surfaces can never disagree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	var cs engine.CacheStats
-	s.mu.RLock()
-	for _, entry := range s.datasets {
-		st := entry.cache.Stats()
-		cs.Hits += st.Hits
-		cs.Misses += st.Misses
-		cs.Entries += st.Entries
-	}
-	s.mu.RUnlock()
-	writeJSON(w, http.StatusOK, MetricsResponse{
-		Requests:         s.Metrics.Requests.Load(),
-		Errors:           s.Metrics.Errors.Load(),
-		DatasetsCreated:  s.Metrics.DatasetsCreated.Load(),
+	cs := s.cacheStats()
+	resp := MetricsResponse{
+		DatasetsCreated:  s.datasetsCreated.Value(),
 		SessionsCreated:  s.Sessions.Created(),
 		SessionsEvicted:  s.Sessions.Evicted(),
 		SessionsLive:     s.Sessions.Len(),
-		RowsServed:       s.Metrics.RowsServed.Load(),
+		RowsServed:       s.rowsServed.Value(),
 		PlanCacheHits:    cs.Hits,
 		PlanCacheMisses:  cs.Misses,
 		PlanCacheEntries: cs.Entries,
-	})
+	}
+	for _, fam := range s.Reg.Snapshot() {
+		switch fam.Name {
+		case "anykd_http_requests_total":
+			for _, smp := range fam.Samples {
+				n := int64(smp.Value)
+				resp.Requests += n
+				route := smp.Labels["route"]
+				rm := resp.route(route)
+				rm.Requests += n
+				if code, err := strconv.Atoi(smp.Labels["code"]); err == nil && code >= 400 {
+					resp.Errors += n
+					rm.Errors += n
+				}
+			}
+		case "anykd_http_request_seconds":
+			for _, smp := range fam.Samples {
+				if smp.Hist == nil || smp.Hist.Count == 0 {
+					continue
+				}
+				rm := resp.route(smp.Labels["route"])
+				rm.LatencyP50Seconds = smp.Hist.Quantile(0.50)
+				rm.LatencyP99Seconds = smp.Hist.Quantile(0.99)
+			}
+		case "anykd_http_panics_total":
+			for _, smp := range fam.Samples {
+				resp.PanicsRecovered += int64(smp.Value)
+			}
+		case "anykd_sessions_opened_total":
+			for _, smp := range fam.Samples {
+				if resp.SessionsByAlgorithm == nil {
+					resp.SessionsByAlgorithm = map[string]int64{}
+				}
+				resp.SessionsByAlgorithm[smp.Labels["algorithm"]] += int64(smp.Value)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

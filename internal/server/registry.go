@@ -14,6 +14,7 @@ import (
 	"anyk/internal/core"
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
+	"anyk/internal/obs"
 	"anyk/internal/query"
 	"anyk/internal/relation"
 )
@@ -37,6 +38,9 @@ type Iter interface {
 	// VarTypes is the logical type of each output variable (Vars order);
 	// nil for untyped sessions.
 	VarTypes() []relation.Type
+	// Stats reports the enumerator-side MEM(k) counters (candidate
+	// insertions, queue high-water mark); exact once the stream is drained.
+	Stats() core.Stats
 	// Close releases enumeration resources (the shard producer goroutines of
 	// a parallel session); the manager calls it when a session is evicted,
 	// removed, or shut down.
@@ -63,6 +67,7 @@ func (e *eraseIter[W]) Plan() *engine.PlanInfo                { return e.it.Plan
 func (e *eraseIter[W]) Typed() bool                           { return e.it.Typed() }
 func (e *eraseIter[W]) TypedVals(vals []relation.Value) []any { return e.it.TypedVals(vals) }
 func (e *eraseIter[W]) VarTypes() []relation.Type             { return e.it.Types }
+func (e *eraseIter[W]) Stats() core.Stats                     { return e.it.Stats() }
 func (e *eraseIter[W]) Close()                                { e.it.Close() }
 
 // enumerate instantiates Enumerate at W and erases the result.
@@ -153,13 +158,15 @@ func resolveQuery(req *QueryRequest) (*query.CQ, error) {
 	return nil, fmt.Errorf("request needs either \"query\" (a family like path4) or \"datalog\"")
 }
 
-// opened is everything a new session needs: the type-erased iterator plus the
-// canonical names the request resolved to.
+// opened is everything a new session needs: the type-erased iterator, the
+// canonical names the request resolved to, and the per-query trace the
+// engine recorded its phase spans on.
 type opened struct {
 	it    Iter
 	q     *query.CQ
 	dioid string
 	alg   core.Algorithm
+	trace *obs.Trace
 }
 
 // resolveParallelism validates a request's parallelism against the
@@ -204,10 +211,14 @@ func openIter(db *relation.DB, cache *engine.Cache, req *QueryRequest, maxParall
 	if err != nil {
 		return nil, err
 	}
-	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par, Cache: cache}
+	// Every session carries a trace: the engine records compile/build/merge
+	// spans during the open, and the iterator feeds the delay histogram as
+	// the session pages. The handlers expose it via /v1/queries/{id}/stats.
+	tr := obs.NewTrace()
+	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par, Cache: cache, Tracer: tr}
 	it, err := dioidBuilders[dname](db, q, alg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &opened{it: it, q: q, dioid: dname, alg: alg}, nil
+	return &opened{it: it, q: q, dioid: dname, alg: alg, trace: tr}, nil
 }

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"anyk/internal/obs"
 )
 
 // ErrSessionNotFound is returned by Manager.Acquire for unknown ids and for
@@ -25,10 +27,14 @@ type Session struct {
 	Dioid     string
 	Algorithm string
 
-	// Mu guards It and Served.
+	// Mu guards It, Served, and Trace.
 	Mu     sync.Mutex
 	It     Iter
 	Served int
+	// Trace is the session's per-query phase/delay trace (nil for sessions
+	// created without one, e.g. directly through Manager.Create in tests).
+	// obs.Trace methods are nil-safe, so readers need no guard beyond Mu.
+	Trace *obs.Trace
 
 	// done records that the iterator is exhausted. It is an atomic (not
 	// Mu-guarded) so the manager can read it during Acquire without taking

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"anyk/internal/core"
 	"anyk/internal/engine"
 	"anyk/internal/relation"
 )
@@ -36,6 +37,7 @@ func (s *stubIter) TypedVals(vals []relation.Value) []any {
 	return out
 }
 func (s *stubIter) VarTypes() []relation.Type { return nil }
+func (s *stubIter) Stats() core.Stats         { return core.Stats{} }
 func (s *stubIter) Close()                    {}
 
 func newStub() Iter { return &stubIter{rows: [][]relation.Value{{1}, {2}, {3}}} }

@@ -148,7 +148,8 @@ type NextResponse struct {
 // MetricsResponse is the GET /v1/metrics snapshot. The plan-cache counters
 // aggregate over every dataset's compiled-plan cache: hits are sessions that
 // reused another session's preprocessing (plans and DP graphs), entries the
-// currently memoized values.
+// currently memoized values. Requests/Errors and the per-route breakdown are
+// folded out of the same registry the Prometheus /metrics endpoint serves.
 type MetricsResponse struct {
 	Requests         int64 `json:"requests"`
 	Errors           int64 `json:"errors"`
@@ -160,6 +161,76 @@ type MetricsResponse struct {
 	PlanCacheHits    int64 `json:"plan_cache_hits"`
 	PlanCacheMisses  int64 `json:"plan_cache_misses"`
 	PlanCacheEntries int   `json:"plan_cache_entries"`
+	// PanicsRecovered counts handler panics the middleware turned into 500s.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Routes breaks requests down by matched route pattern.
+	Routes map[string]*RouteMetrics `json:"routes,omitempty"`
+	// SessionsByAlgorithm counts opened sessions per any-k algorithm.
+	SessionsByAlgorithm map[string]int64 `json:"sessions_by_algorithm,omitempty"`
+}
+
+// route returns (creating on demand) the per-route bucket for name.
+func (m *MetricsResponse) route(name string) *RouteMetrics {
+	if m.Routes == nil {
+		m.Routes = map[string]*RouteMetrics{}
+	}
+	rm, ok := m.Routes[name]
+	if !ok {
+		rm = &RouteMetrics{}
+		m.Routes[name] = rm
+	}
+	return rm
+}
+
+// RouteMetrics is one route's slice of the request metrics.
+type RouteMetrics struct {
+	Requests          int64   `json:"requests"`
+	Errors            int64   `json:"errors"`
+	LatencyP50Seconds float64 `json:"latency_p50_seconds"`
+	LatencyP99Seconds float64 `json:"latency_p99_seconds"`
+}
+
+// SessionStatsResponse is the GET /v1/queries/{id}/stats (alias
+// /v1/sessions/{id}/stats) snapshot: the session's phase span tree, its
+// inter-result delay distribution, and the enumerator memory counters behind
+// the paper's MEM(k) analysis.
+type SessionStatsResponse struct {
+	ID     string `json:"id"`
+	Served int    `json:"served"`
+	Done   bool   `json:"done"`
+	// CandidatesInserted/MaxQueueSize are core.Stats read off the live
+	// iterator: exact for serial sessions at any point and for parallel
+	// sessions once drained.
+	CandidatesInserted int `json:"candidates_inserted"`
+	MaxQueueSize       int `json:"max_queue_size"`
+	// Phases is the span tree (compile, build with per-shard children, merge,
+	// first-next). Parent indexes Phases; -1 marks roots. A negative duration
+	// marks a span still open at snapshot time.
+	Phases []PhaseSpan `json:"phases,omitempty"`
+	// Delay summarizes the inter-result delay histogram. Delays are buffered
+	// off the enumeration hot path and published in batches, so mid-stream
+	// snapshots may lag by up to a few hundred rows; they are exact once the
+	// session is done (or closed).
+	Delay *DelayStats `json:"delay,omitempty"`
+}
+
+// PhaseSpan is one node of a session's phase span tree.
+type PhaseSpan struct {
+	Name            string  `json:"name"`
+	Parent          int     `json:"parent"`
+	StartSeconds    float64 `json:"start_seconds"`
+	DurationSeconds float64 `json:"duration_seconds"`
+}
+
+// DelayStats summarizes a session's inter-result delay histogram. Quantiles
+// are nearest-rank over factor-2 log buckets, capped at the observed max.
+type DelayStats struct {
+	Count       uint64  `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P90Seconds  float64 `json:"p90_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
 }
 
 // writeJSON writes v with the given status; encoding failures are reported on
