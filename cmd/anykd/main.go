@@ -37,7 +37,8 @@ import (
 var (
 	addrFlag     = flag.String("addr", ":8080", "listen address")
 	ttlFlag      = flag.Duration("session-ttl", 10*time.Minute, "idle session expiry (0 = never)")
-	maxSessFlag  = flag.Int("max-sessions", 1024, "session table capacity (LRU-evicted beyond this)")
+	maxSessFlag  = flag.Int("max-sessions", 1024, "admission limit on live sessions: creates past it get 429 after drained/expired sessions are reclaimed (0 = no admission control, table defaults to 1024 LRU slots)")
+	maxInflFlag  = flag.Int("max-inflight", 0, "cap on concurrently executing requests; excess get 429 (0 = unlimited)")
 	verboseFlag  = flag.Bool("v", false, "debug-level logging (includes per-session phase spans)")
 	shutdownFlag = flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown deadline")
 	maxParFlag   = flag.Int("max-parallelism", 8, "per-session parallelism cap (requests above it are clamped)")
@@ -63,6 +64,8 @@ func main() {
 	defer sessions.Close()
 	srv := server.New(sessions, logger)
 	srv.MaxParallelism = *maxParFlag
+	srv.MaxSessions = *maxSessFlag
+	srv.MaxInflight = *maxInflFlag
 
 	httpSrv := &http.Server{
 		Addr:              *addrFlag,

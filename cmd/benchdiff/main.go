@@ -1,0 +1,75 @@
+// Command benchdiff compares two BENCH_results.json files (a committed
+// baseline and a fresh run) metric-by-metric — time-to-first-result, total
+// time, inter-result delay p99, and allocs/op — and exits nonzero when any
+// metric regressed past the threshold. CI runs it as an advisory gate; the
+// noise floors keep microsecond baselines from flagging scheduler jitter.
+//
+//	benchdiff BENCH_baseline.json BENCH_results.json
+//	benchdiff -threshold 0.5 -min-seconds 0.005 old.json new.json
+//
+// Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anyk/internal/bench"
+)
+
+var (
+	thresholdFlag = flag.Float64("threshold", 0.30, "relative slowdown allowed before a metric is flagged (0.30 = 30%)")
+	minSecsFlag   = flag.Float64("min-seconds", 0.002, "noise floor for time metrics: baselines below this are never flagged")
+	minAllocsFlag = flag.Float64("min-allocs", 64, "noise floor for allocs/op")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] baseline.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := bench.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.ReadFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	opt := bench.DiffOptions{Threshold: *thresholdFlag, MinSeconds: *minSecsFlag, MinAllocs: *minAllocsFlag}
+	printMeta("baseline", base.Meta)
+	printMeta("new", cur.Meta)
+	rows := bench.Diff(base.Records, cur.Records, opt)
+	bench.PrintDiff(os.Stdout, rows, opt)
+	if bench.HasRegression(rows) {
+		os.Exit(1)
+	}
+}
+
+// printMeta summarizes one file's recorded environment; comparing runs from
+// different machines or core counts is legitimate but worth seeing.
+func printMeta(side string, m bench.Meta) {
+	if m.GoVersion == "" {
+		fmt.Printf("%-9s (no metadata: legacy record array)\n", side+":")
+		return
+	}
+	commit := m.Commit
+	if commit == "" {
+		commit = "?"
+	} else if len(commit) > 12 {
+		commit = commit[:12]
+	}
+	fmt.Printf("%-9s %s %s/%s cpus=%d gomaxprocs=%d commit=%s %s\n",
+		side+":", m.GoVersion, m.GOOS, m.GOARCH, m.NumCPU, m.GOMAXPROCS, commit, m.RecordedAt)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}

@@ -4,19 +4,28 @@
 // `curl /metrics` through it to fail the build on a malformed exposition.
 //
 //	curl -s localhost:8080/metrics | promcheck
+//	curl -s localhost:8080/metrics | promcheck -q   # exit code only
+//
+// -q suppresses the success line for scripted use (errors still print).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
 	"anyk/internal/obs"
 )
 
+var quietFlag = flag.Bool("q", false, "quiet: no output on success, errors only")
+
 func main() {
+	flag.Parse()
 	if err := obs.ValidateExposition(os.Stdin); err != nil {
 		fmt.Fprintln(os.Stderr, "promcheck:", err)
 		os.Exit(1)
 	}
-	fmt.Println("promcheck: exposition OK")
+	if !*quietFlag {
+		fmt.Println("promcheck: exposition OK")
+	}
 }

@@ -17,12 +17,16 @@
 //   - internal/join — NPRR generic join, Yannakakis, hash-join and rank-join
 //     baselines
 //   - internal/server — the HTTP query service: resumable ranked-enumeration
-//     sessions (TTL + LRU), dataset management, CSV ingest; served by
-//     cmd/anykd
+//     sessions (TTL + LRU), dataset management, CSV ingest, admission
+//     control (session and in-flight limits with structured 429s); served
+//     by cmd/anykd
 //   - internal/obs — dependency-free observability: per-query phase traces,
 //     inter-result delay histograms, MEM(k) counters, and a metric registry
 //     rendered as Prometheus text exposition (GET /metrics on anykd,
 //     per-session GET /v1/sessions/{id}/stats, anyk -trace)
+//   - internal/loadgen — closed- and open-loop (coordinated-omission-
+//     corrected) load drivers over the anykd API; cmd/loadgen runs them,
+//     cmd/benchdiff gates BENCH_results.json files against a baseline
 //   - internal/query, internal/relation, internal/dioid, internal/heapq,
 //     internal/dataset, internal/homom, internal/bench — substrates
 //

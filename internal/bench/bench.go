@@ -8,6 +8,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"time"
 
@@ -48,6 +49,15 @@ type Series struct {
 	// high-water mark — populated only when Config.RecordDelays is set.
 	Candidates int
 	MaxQueue   int
+	// AllocsPerOp and BytesPerOp are heap allocations and bytes allocated per
+	// produced result (medians over reps), sampled as runtime.MemStats deltas
+	// around each run (enumeration build + drain). They track the hot path's
+	// allocation discipline the way testing.AllocsPerRun would, without
+	// requiring the workload to fit the testing harness; treat them as
+	// regression signals, not exact per-row costs (the measurement loop and GC
+	// metadata ride along).
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 // Config describes one panel of a figure.
@@ -129,7 +139,7 @@ func Run(cfg Config) ([]Series, error) {
 			}
 		}
 		var runs [][]Point
-		var ttfs []float64
+		var ttfs, allocs, bytes []float64
 		var hist obs.HistSnapshot
 		var stats core.Stats
 		total := 0
@@ -140,11 +150,14 @@ func Run(cfg Config) ([]Series, error) {
 			}
 			runs = append(runs, r.pts)
 			ttfs = append(ttfs, r.ttf)
+			allocs = append(allocs, r.allocsPerOp)
+			bytes = append(bytes, r.bytesPerOp)
 			hist.Merge(r.hist)
 			stats = r.stats // reps replay the same workload; keep the last
 			total = r.n
 		}
-		s := Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total, TTF: median(ttfs)}
+		s := Series{Algorithm: alg.String(), Points: medianPoints(runs), Total: total, TTF: median(ttfs),
+			AllocsPerOp: median(allocs), BytesPerOp: median(bytes)}
 		if hist.Count > 0 {
 			s.DelayHist = hist
 			s.DelayP50 = hist.Quantile(0.50)
@@ -161,11 +174,13 @@ func Run(cfg Config) ([]Series, error) {
 // oneRun is a single measurement: checkpoint points, result count, TTF, and
 // (when recorded) the inter-result delay histogram plus MEM(k) stats.
 type oneRun struct {
-	pts   []Point
-	n     int
-	ttf   float64
-	hist  obs.HistSnapshot
-	stats core.Stats
+	pts         []Point
+	n           int
+	ttf         float64
+	hist        obs.HistSnapshot
+	stats       core.Stats
+	allocsPerOp float64
+	bytesPerOp  float64
 }
 
 func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
@@ -180,6 +195,11 @@ func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 		tr = obs.NewTrace()
 		opts.Tracer = tr
 	}
+	// Allocation accounting brackets the whole run (build + drain): Mallocs
+	// and TotalAlloc are monotone process-wide counters, so the delta is
+	// exact as long as benchmarks run one workload at a time (they do).
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	it, err := engine.Enumerate[float64](cfg.DB, cfg.Query, dioid.Tropical{}, alg, opts)
 	if err != nil {
@@ -206,6 +226,12 @@ func runOnce(cfg Config, alg core.Algorithm) (oneRun, error) {
 	}
 	// final point = TT(last)
 	r.pts = append(r.pts, Point{K: r.n, Seconds: time.Since(start).Seconds()})
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
+	if ops := r.n; ops > 0 {
+		r.allocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops)
+		r.bytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(ops)
+	}
 	if tr != nil {
 		// Stats before Close (a parallel Close interrupts shard producers),
 		// the delay snapshot after it (Close flushes the buffered delays of a
@@ -280,6 +306,12 @@ func Print(w io.Writer, name string, series []Series) {
 		if s.Candidates > 0 || s.MaxQueue > 0 {
 			fmt.Fprintf(w, "MEM(k) %-14s candidates=%d max_queue=%d delay_p50=%.6fs p99=%.6fs\n",
 				s.Algorithm, s.Candidates, s.MaxQueue, s.DelayP50, s.DelayP99)
+		}
+	}
+	for _, s := range series {
+		if s.AllocsPerOp > 0 {
+			fmt.Fprintf(w, "alloc  %-14s allocs/op=%.1f bytes/op=%.0f\n",
+				s.Algorithm, s.AllocsPerOp, s.BytesPerOp)
 		}
 	}
 	fmt.Fprintf(w, "(results produced: %d)\n\n", series[0].Total)

@@ -2,8 +2,6 @@ package bench
 
 import (
 	"bytes"
-	"encoding/json"
-	"os"
 	"strings"
 	"testing"
 
@@ -141,6 +139,9 @@ func TestRecordDelaysAndRecords(t *testing.T) {
 	if s.Candidates <= 0 || s.MaxQueue <= 0 {
 		t.Fatalf("MEM(k) counters missing: candidates=%d max_queue=%d", s.Candidates, s.MaxQueue)
 	}
+	if s.AllocsPerOp <= 0 || s.BytesPerOp <= 0 {
+		t.Fatalf("allocation accounting missing: allocs/op=%v bytes/op=%v", s.AllocsPerOp, s.BytesPerOp)
+	}
 	recs := Records("figX", series)
 	if len(recs) != 1 {
 		t.Fatalf("%d records", len(recs))
@@ -151,6 +152,10 @@ func TestRecordDelaysAndRecords(t *testing.T) {
 	}
 	if r.Candidates != s.Candidates || r.MaxQueue != s.MaxQueue || len(r.DelayHist) == 0 {
 		t.Fatalf("record missing MEM(k)/histogram fields: %+v", r)
+	}
+	if r.AllocsPerOp != s.AllocsPerOp || r.BytesPerOp != s.BytesPerOp {
+		t.Fatalf("record allocation fields %v/%v do not mirror series %v/%v",
+			r.AllocsPerOp, r.BytesPerOp, s.AllocsPerOp, s.BytesPerOp)
 	}
 	var histTotal uint64
 	for _, b := range r.DelayHist {
@@ -166,15 +171,15 @@ func TestRecordDelaysAndRecords(t *testing.T) {
 	if err := WriteRecords(path, recs); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	f, err := ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var back []Record
-	if err := json.Unmarshal(data, &back); err != nil {
-		t.Fatal(err)
-	}
+	back := f.Records
 	if len(back) != 1 || back[0].Figure != "figX" || back[0].N != r.N {
 		t.Fatalf("round trip %+v", back)
+	}
+	if f.Meta.GoVersion == "" || f.Meta.GOMAXPROCS < 1 {
+		t.Fatalf("run metadata missing from envelope: %+v", f.Meta)
 	}
 }

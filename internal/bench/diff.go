@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// DiffOptions tunes the regression comparison of two benchmark files.
+type DiffOptions struct {
+	// Threshold is the allowed relative slowdown before a metric counts as a
+	// regression: 0.30 flags anything more than 30% worse than the baseline.
+	// <= 0 uses the 0.30 default.
+	Threshold float64
+	// MinSeconds is the noise floor for time metrics: baselines below it are
+	// reported but never flagged (scheduler jitter dominates microsecond
+	// baselines). < 0 disables the floor; 0 uses the 2ms default.
+	MinSeconds float64
+	// MinAllocs is the analogous floor for allocs/op. < 0 disables; 0 uses
+	// the 64 default.
+	MinAllocs float64
+}
+
+func (o DiffOptions) threshold() float64 {
+	if o.Threshold <= 0 {
+		return 0.30
+	}
+	return o.Threshold
+}
+
+func (o DiffOptions) minSeconds() float64 {
+	if o.MinSeconds < 0 {
+		return 0
+	}
+	if o.MinSeconds == 0 {
+		return 0.002
+	}
+	return o.MinSeconds
+}
+
+func (o DiffOptions) minAllocs() float64 {
+	if o.MinAllocs < 0 {
+		return 0
+	}
+	if o.MinAllocs == 0 {
+		return 64
+	}
+	return o.MinAllocs
+}
+
+// DiffRow is one metric comparison between a baseline record and its
+// counterpart in the new file.
+type DiffRow struct {
+	Figure, Series, Metric string
+	Base, New              float64
+	// Delta is the relative change (New-Base)/Base; positive = slower/worse.
+	Delta float64
+	// Regression marks deltas above the threshold on metrics above the noise
+	// floor.
+	Regression bool
+	// BelowFloor marks comparisons whose baseline sat under the noise floor;
+	// they are informational and never regressions.
+	BelowFloor bool
+}
+
+// diffMetric names one compared metric and how to read it off a Record.
+type diffMetric struct {
+	name  string
+	value func(Record) float64
+	// floor selects which noise floor applies (seconds vs. allocs).
+	floor func(DiffOptions) float64
+}
+
+var diffMetrics = []diffMetric{
+	{"ttf_seconds", func(r Record) float64 { return r.TTF }, DiffOptions.minSeconds},
+	{"total_seconds", func(r Record) float64 { return r.Total }, DiffOptions.minSeconds},
+	{"delay_p99_seconds", func(r Record) float64 { return r.DelayP99 }, DiffOptions.minSeconds},
+	{"allocs_per_op", func(r Record) float64 { return r.AllocsPerOp }, DiffOptions.minAllocs},
+}
+
+// seriesKey identifies a record across files.
+type seriesKey struct{ figure, series string }
+
+// Diff compares cur against base metric-by-metric for every (figure, series)
+// present in both, and lists series that exist on only one side as
+// informational rows (Metric "missing", Base/New -1 on the absent side).
+func Diff(base, cur []Record, opt DiffOptions) []DiffRow {
+	baseBy := make(map[seriesKey]Record, len(base))
+	for _, r := range base {
+		baseBy[seriesKey{r.Figure, r.Series}] = r
+	}
+	curBy := make(map[seriesKey]Record, len(cur))
+	for _, r := range cur {
+		curBy[seriesKey{r.Figure, r.Series}] = r
+	}
+	var rows []DiffRow
+	for _, br := range base {
+		k := seriesKey{br.Figure, br.Series}
+		cr, ok := curBy[k]
+		if !ok {
+			rows = append(rows, DiffRow{Figure: k.figure, Series: k.series, Metric: "missing", Base: 0, New: -1})
+			continue
+		}
+		for _, m := range diffMetrics {
+			b, c := m.value(br), m.value(cr)
+			if b <= 0 || c <= 0 {
+				continue // metric not recorded on one side
+			}
+			row := DiffRow{Figure: k.figure, Series: k.series, Metric: m.name, Base: b, New: c, Delta: (c - b) / b}
+			if b < m.floor(opt) {
+				row.BelowFloor = true
+			} else if row.Delta > opt.threshold() {
+				row.Regression = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	for _, cr := range cur {
+		k := seriesKey{cr.Figure, cr.Series}
+		if _, ok := baseBy[k]; !ok {
+			rows = append(rows, DiffRow{Figure: k.figure, Series: k.series, Metric: "missing", Base: -1, New: 0})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Figure != rows[j].Figure {
+			return rows[i].Figure < rows[j].Figure
+		}
+		if rows[i].Series != rows[j].Series {
+			return rows[i].Series < rows[j].Series
+		}
+		return rows[i].Metric < rows[j].Metric
+	})
+	return rows
+}
+
+// HasRegression reports whether any row is flagged.
+func HasRegression(rows []DiffRow) bool {
+	for _, r := range rows {
+		if r.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// PrintDiff renders the comparison as an aligned table, regressions marked
+// with "REGRESSION", sub-floor baselines with "~" (ignored), and a summary
+// line with the flagged count.
+func PrintDiff(w io.Writer, rows []DiffRow, opt DiffOptions) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "figure\tseries\tmetric\tbase\tnew\tdelta\t")
+	regressions := 0
+	for _, r := range rows {
+		if r.Metric == "missing" {
+			side := "only in baseline"
+			if r.Base < 0 {
+				side = "only in new file"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t-\t-\t-\t%s\n", r.Figure, r.Series, r.Metric, side)
+			continue
+		}
+		mark := ""
+		switch {
+		case r.Regression:
+			mark = "REGRESSION"
+			regressions++
+		case r.BelowFloor:
+			mark = "~ (below noise floor)"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.6g\t%.6g\t%+.1f%%\t%s\n",
+			r.Figure, r.Series, r.Metric, r.Base, r.New, 100*r.Delta, mark)
+	}
+	tw.Flush()
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d regression(s) above the %.0f%% threshold\n", regressions, 100*opt.threshold())
+	} else {
+		fmt.Fprintf(w, "\nno regressions above the %.0f%% threshold\n", 100*opt.threshold())
+	}
+}

@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func baseRecords() []Record {
+	return []Record{
+		{Figure: "fig10a", Series: "Take2", N: 1000, TTF: 0.010, Total: 0.100, DelayP99: 0.0005, AllocsPerOp: 200},
+		{Figure: "fig10a", Series: "Lazy", N: 1000, TTF: 0.008, Total: 0.090, DelayP99: 0.0004, AllocsPerOp: 150},
+	}
+}
+
+// An identical pair must produce zero regressions (every delta is 0).
+func TestDiffIdenticalPasses(t *testing.T) {
+	rows := Diff(baseRecords(), baseRecords(), DiffOptions{})
+	if len(rows) == 0 {
+		t.Fatal("no rows compared")
+	}
+	if HasRegression(rows) {
+		t.Fatalf("identical files flagged a regression: %+v", rows)
+	}
+}
+
+// An injected above-threshold slowdown on one metric must be flagged, and
+// only that metric.
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	cur := baseRecords()
+	cur[0].Total = cur[0].Total * 1.5 // +50% against a 30% threshold
+	rows := Diff(baseRecords(), cur, DiffOptions{Threshold: 0.30})
+	if !HasRegression(rows) {
+		t.Fatal("injected +50% total_seconds regression not flagged")
+	}
+	for _, r := range rows {
+		want := r.Figure == "fig10a" && r.Series == "Take2" && r.Metric == "total_seconds"
+		if r.Regression != want {
+			t.Fatalf("row %+v: regression=%v, want %v", r, r.Regression, want)
+		}
+	}
+}
+
+// Improvements (negative deltas) and sub-threshold slowdowns pass.
+func TestDiffToleratesImprovementAndNoise(t *testing.T) {
+	cur := baseRecords()
+	cur[0].TTF *= 0.5          // 2x faster
+	cur[0].Total *= 1.2        // +20% < 30% threshold
+	cur[1].AllocsPerOp *= 1.25 // +25% < threshold
+	rows := Diff(baseRecords(), cur, DiffOptions{Threshold: 0.30})
+	if HasRegression(rows) {
+		t.Fatalf("sub-threshold changes flagged: %+v", rows)
+	}
+}
+
+// Baselines under the noise floor are reported but never flagged: a 5x blowup
+// on a microsecond baseline is scheduler jitter, not a regression.
+func TestDiffNoiseFloorSuppressesTinyBaselines(t *testing.T) {
+	base := []Record{{Figure: "f", Series: "s", N: 1, TTF: 0.00005, AllocsPerOp: 8}}
+	cur := []Record{{Figure: "f", Series: "s", N: 1, TTF: 0.00050, AllocsPerOp: 40}}
+	rows := Diff(base, cur, DiffOptions{Threshold: 0.30})
+	if HasRegression(rows) {
+		t.Fatalf("sub-floor baseline flagged: %+v", rows)
+	}
+	floored := 0
+	for _, r := range rows {
+		if r.BelowFloor {
+			floored++
+		}
+	}
+	if floored != len(rows) {
+		t.Fatalf("want every row below floor, got %d of %d", floored, len(rows))
+	}
+}
+
+// Series present on only one side surface as informational rows, not
+// regressions, so adding or retiring a workload never fails the gate.
+func TestDiffReportsMissingSeries(t *testing.T) {
+	cur := baseRecords()[:1]
+	cur = append(cur, Record{Figure: "fig99", Series: "New", N: 1, TTF: 1})
+	rows := Diff(baseRecords(), cur, DiffOptions{})
+	if HasRegression(rows) {
+		t.Fatalf("membership change flagged as regression: %+v", rows)
+	}
+	missing := map[string]bool{}
+	for _, r := range rows {
+		if r.Metric == "missing" {
+			missing[r.Figure+"/"+r.Series] = true
+		}
+	}
+	if !missing["fig10a/Lazy"] || !missing["fig99/New"] {
+		t.Fatalf("missing-series rows absent: %v", missing)
+	}
+}
+
+func TestPrintDiffMarksRegressions(t *testing.T) {
+	cur := baseRecords()
+	cur[0].TTF *= 10
+	rows := Diff(baseRecords(), cur, DiffOptions{})
+	var buf bytes.Buffer
+	PrintDiff(&buf, rows, DiffOptions{})
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("table lacks REGRESSION marker:\n%s", out)
+	}
+	if !strings.Contains(out, "1 regression(s)") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+}
+
+// The envelope round-trips through WriteRecords/ReadFile with metadata, and
+// ReadFile still accepts the legacy bare-array format.
+func TestFileRoundTripAndLegacyRead(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	recs := baseRecords()
+	if err := WriteRecords(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Records) != len(recs) || f.Records[0].Series != "Take2" {
+		t.Fatalf("round trip lost records: %+v", f.Records)
+	}
+	if f.Meta.GoVersion == "" || f.Meta.GOMAXPROCS < 1 || f.Meta.NumCPU < 1 {
+		t.Fatalf("metadata not recorded: %+v", f.Meta)
+	}
+
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`[{"figure":"f","series":"s","n":1,"ttf_seconds":0.5,"total_seconds":1,"delay_p50_seconds":0,"delay_p95_seconds":0,"delay_p99_seconds":0,"points":[]}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lf, err := ReadFile(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf.Records) != 1 || lf.Records[0].TTF != 0.5 {
+		t.Fatalf("legacy parse: %+v", lf)
+	}
+	if lf.Meta.GoVersion != "" {
+		t.Fatalf("legacy file should carry zero meta, got %+v", lf.Meta)
+	}
+}

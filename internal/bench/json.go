@@ -2,7 +2,11 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"anyk/internal/obs"
 )
@@ -22,10 +26,13 @@ type Record struct {
 	TTF   float64 `json:"ttf_seconds"`
 	Total float64 `json:"total_seconds"`
 	// Delay percentiles over inter-result delays, in seconds (0 when the
-	// run produced fewer than two results).
+	// run produced fewer than two results). Load-generator records reuse
+	// these fields for per-operation request latency.
 	DelayP50 float64 `json:"delay_p50_seconds"`
+	DelayP90 float64 `json:"delay_p90_seconds,omitempty"`
 	DelayP95 float64 `json:"delay_p95_seconds"`
 	DelayP99 float64 `json:"delay_p99_seconds"`
+	DelayMax float64 `json:"delay_max_seconds,omitempty"`
 	// DelayHist holds the populated buckets of the inter-result delay
 	// histogram (log-spaced, merged across reps); empty unless the run
 	// recorded delays.
@@ -35,8 +42,80 @@ type Record struct {
 	// run recorded delays).
 	Candidates int `json:"candidates,omitempty"`
 	MaxQueue   int `json:"max_queue,omitempty"`
+	// AllocsPerOp and BytesPerOp are heap allocations / bytes allocated per
+	// produced result (runtime.MemStats deltas over the run, medians across
+	// reps) — the hot-path allocation-discipline regression signal.
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	// OpsPerSec is the sustained completion rate of a load-generator series
+	// (sessions/sec for session records); 0 for figure benchmarks.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// Errors and Rejected are load-generator counts: hard failures
+	// (transport errors, 5xx, unexpected 4xx) vs. structured admission-
+	// control rejections (429), which are healthy backpressure, not bugs.
+	Errors   int64 `json:"errors,omitempty"`
+	Rejected int64 `json:"rejected,omitempty"`
 	// Points is the TT(k) curve at the run's checkpoints.
 	Points []Point `json:"points"`
+}
+
+// Meta records the environment a benchmark file was produced under, so
+// numbers are interpretable later: single-core par1 results look like a
+// missing speedup unless GOMAXPROCS says the machine had one core.
+type Meta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Commit is the VCS revision the binary was built from (via
+	// debug.ReadBuildInfo, suffixed "-dirty" for modified trees), or the
+	// ANYK_COMMIT environment variable when build info carries no VCS stamp
+	// (e.g. `go run` from a test).
+	Commit string `json:"commit,omitempty"`
+	// RecordedAt is the RFC 3339 UTC wall-clock time of the write.
+	RecordedAt string `json:"recorded_at,omitempty"`
+}
+
+// CollectMeta samples the current process environment.
+func CollectMeta() Meta {
+	m := Meta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev != "" {
+			if modified == "true" {
+				rev += "-dirty"
+			}
+			m.Commit = rev
+		}
+	}
+	if m.Commit == "" {
+		m.Commit = os.Getenv("ANYK_COMMIT")
+	}
+	return m
+}
+
+// File is the on-disk shape of a benchmark results file: run metadata plus
+// the flat record list. Earlier revisions wrote a bare record array;
+// ReadFile still accepts that.
+type File struct {
+	Meta    Meta     `json:"meta"`
+	Records []Record `json:"records"`
 }
 
 // Records flattens a panel's series into JSON records under a figure id.
@@ -44,17 +123,20 @@ func Records(figure string, series []Series) []Record {
 	out := make([]Record, 0, len(series))
 	for _, s := range series {
 		r := Record{
-			Figure:     figure,
-			Series:     s.Algorithm,
-			N:          s.Total,
-			TTF:        s.TTF,
-			DelayP50:   s.DelayP50,
-			DelayP95:   s.DelayP95,
-			DelayP99:   s.DelayP99,
-			DelayHist:  s.DelayHist.NonZeroBuckets(),
-			Candidates: s.Candidates,
-			MaxQueue:   s.MaxQueue,
-			Points:     s.Points,
+			Figure:      figure,
+			Series:      s.Algorithm,
+			N:           s.Total,
+			TTF:         s.TTF,
+			DelayP50:    s.DelayP50,
+			DelayP95:    s.DelayP95,
+			DelayP99:    s.DelayP99,
+			DelayMax:    s.DelayHist.Max,
+			DelayHist:   s.DelayHist.NonZeroBuckets(),
+			Candidates:  s.Candidates,
+			MaxQueue:    s.MaxQueue,
+			AllocsPerOp: s.AllocsPerOp,
+			BytesPerOp:  s.BytesPerOp,
+			Points:      s.Points,
 		}
 		if len(s.Points) > 0 {
 			r.Total = s.Points[len(s.Points)-1].Seconds
@@ -64,11 +146,47 @@ func Records(figure string, series []Series) []Record {
 	return out
 }
 
-// WriteRecords writes records as an indented JSON array to path.
+// WriteRecords writes records (wrapped in a File envelope carrying the
+// current run's Meta) as indented JSON to path.
 func WriteRecords(path string, records []Record) error {
-	b, err := json.MarshalIndent(records, "", "  ")
+	b, err := json.MarshalIndent(File{Meta: CollectMeta(), Records: records}, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile parses a benchmark results file: the current {meta, records}
+// envelope or the legacy bare record array (which yields a zero Meta).
+func ReadFile(path string) (File, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	// The legacy format was a bare array; the envelope is an object. The
+	// first JSON token disambiguates without guess-and-retry parsing.
+	if i := firstNonSpace(b); i >= 0 && b[i] == '[' {
+		var legacy []Record
+		if err := json.Unmarshal(b, &legacy); err != nil {
+			return File{}, fmt.Errorf("%s: parsing legacy record array: %w", path, err)
+		}
+		return File{Records: legacy}, nil
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return File{}, fmt.Errorf("%s: parsing {meta, records} envelope: %w", path, err)
+	}
+	return f, nil
+}
+
+// firstNonSpace returns the index of the first non-whitespace byte, or -1.
+func firstNonSpace(b []byte) int {
+	for i, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return i
+		}
+	}
+	return -1
 }

@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// outcome classifies one HTTP operation for accounting: admission-control
+// 429s are healthy backpressure and tallied separately from hard errors.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeRejected
+	outcomeError
+)
+
+// classify maps a status code onto an outcome.
+func classify(status int) outcome {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return outcomeRejected
+	case status >= 400:
+		return outcomeError
+	default:
+		return outcomeOK
+	}
+}
+
+// client is a thin JSON client over the anykd HTTP API.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+// do issues one request with a JSON (or raw CSV) body and decodes a JSON
+// reply into out when the status is 2xx. Transport failures return status 0.
+func (c *client) do(method, path string, body io.Reader, contentType string, out any) (int, error) {
+	req, err := http.NewRequest(method, c.base+path, body)
+	if err != nil {
+		return 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 || out == nil {
+		// Drain so the connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return resp.StatusCode, fmt.Errorf("%s %s: decoding response: %w", method, path, err)
+	}
+	return resp.StatusCode, nil
+}
+
+func (c *client) postJSON(path string, in, out any) (int, error) {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	return c.do(http.MethodPost, path, bytes.NewReader(b), "application/json", out)
+}
+
+func (c *client) get(path string, out any) (int, error) {
+	return c.do(http.MethodGet, path, nil, "", out)
+}
+
+func (c *client) del(path string) (int, error) {
+	return c.do(http.MethodDelete, path, nil, "", nil)
+}
+
+func (c *client) uploadCSV(path, csv string) (int, error) {
+	return c.do(http.MethodPost, path, strings.NewReader(csv), "text/csv", nil)
+}

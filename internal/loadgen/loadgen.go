@@ -1,0 +1,438 @@
+// Package loadgen drives the anykd HTTP API with measured load: a
+// closed-loop driver (N workers looping jobs back-to-back) for throughput,
+// and an open-loop driver (fixed arrival rate) for latency under a given
+// offered load.
+//
+// The open-loop driver corrects for coordinated omission the way wrk2 does:
+// arrivals are put on a fixed schedule, and each job's latency is measured
+// from its *scheduled* send time, not from when a free worker finally picked
+// it up. When the server stalls, queued arrivals keep accumulating scheduled
+// lateness, so the corrected percentiles show the delay real clients would
+// have seen; the uncorrected histogram is kept alongside to expose the gap.
+//
+// Per-operation latencies land in obs.Histogram buckets; admission-control
+// 429s are tallied as rejections (healthy backpressure), distinctly from
+// hard errors.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anyk/internal/obs"
+	"anyk/internal/server"
+)
+
+// Mix weights the job types a worker draws from. Zero-valued mixes default
+// to sessions only.
+type Mix struct {
+	// Session opens a query, pages through up to K rows, and deletes it.
+	Session int
+	// Stats polls the most recent session's stats endpoint (falling back to
+	// /v1/metrics before any session exists).
+	Stats int
+	// Upload posts a small CSV relation into a scratch dataset.
+	Upload int
+}
+
+func (m Mix) total() int { return m.Session + m.Stats + m.Upload }
+
+// Config parameterizes one load run.
+type Config struct {
+	// Base is the server address, e.g. "http://127.0.0.1:8080".
+	Base string
+	// Mode is "closed" (default; Workers loop back-to-back) or "open"
+	// (arrivals at Rate per second, executed by a Workers-sized pool).
+	Mode string
+	// Workers is the concurrency (default 4).
+	Workers int
+	// Rate is the open-loop arrival rate per second (required for Mode
+	// "open", ignored otherwise).
+	Rate float64
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Dataset and Query select the workload (defaults "bench", "path3").
+	Dataset string
+	Query   string
+	// Algorithm and Parallelism are passed through to query creates.
+	Algorithm   string
+	Parallelism int
+	// K is how many rows a session job fetches before closing (default 20),
+	// paged PageK (default 10) at a time.
+	K     int
+	PageK int
+	// Mix weights the job types (default sessions only).
+	Mix Mix
+	// Seed makes the per-worker job choice deterministic (default 1).
+	Seed int64
+	// HTTP overrides the client (default: pooled transport, 30s timeout).
+	HTTP *http.Client
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Base == "" {
+		return errors.New("loadgen: Base address is required")
+	}
+	c.Base = strings.TrimRight(c.Base, "/")
+	if c.Mode == "" {
+		c.Mode = "closed"
+	}
+	if c.Mode != "closed" && c.Mode != "open" {
+		return fmt.Errorf("loadgen: unknown mode %q (want closed or open)", c.Mode)
+	}
+	if c.Mode == "open" && c.Rate <= 0 {
+		return errors.New("loadgen: open-loop mode requires Rate > 0")
+	}
+	if c.Workers < 1 {
+		c.Workers = 4
+	}
+	if c.Duration <= 0 {
+		c.Duration = 5 * time.Second
+	}
+	if c.Dataset == "" {
+		c.Dataset = "bench"
+	}
+	if c.Query == "" {
+		c.Query = "path3"
+	}
+	if c.K < 1 {
+		c.K = 20
+	}
+	if c.PageK < 1 {
+		c.PageK = 10
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = Mix{Session: 1}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// OpStats is one operation's share of a run: a latency histogram plus error
+// accounting. Job-level operations ("session", "stats", "upload") measure
+// whole jobs; "create_query" and "next" are the session job's constituent
+// HTTP calls. In open-loop mode the job-level Hist holds
+// coordinated-omission-corrected latency (measured from the scheduled
+// arrival) and Uncorrected the naive measurement; elsewhere Uncorrected is
+// nil.
+type OpStats struct {
+	Name        string
+	Hist        obs.HistSnapshot
+	Uncorrected *obs.HistSnapshot
+	Errors      int64
+	Rejected    int64
+}
+
+// Result summarizes one run. Errors and Rejected count job executions (not
+// individual HTTP calls) that ended in a hard failure or a 429.
+type Result struct {
+	Mode           string
+	Duration       time.Duration
+	Sessions       int64
+	RowsFetched    int64
+	SessionsPerSec float64
+	Errors         int64
+	Rejected       int64
+	Ops            []OpStats
+}
+
+// op accumulates one operation during the run.
+type op struct {
+	hist        obs.Histogram
+	uncorrected obs.Histogram
+	errors      atomic.Int64
+	rejected    atomic.Int64
+}
+
+// jobOps and subOps fix the operation set up front so workers share the
+// histograms lock-free.
+var jobOps = []string{"session", "stats", "upload"}
+var subOps = []string{"create_query", "next"}
+
+type runner struct {
+	cfg    Config
+	cl     *client
+	ops    map[string]*op
+	recent atomic.Value // string: most recently opened session id
+
+	sessions atomic.Int64
+	rows     atomic.Int64
+	errs     atomic.Int64
+	rejected atomic.Int64
+}
+
+// Run executes one load run against cfg.Base. ctx cancellation stops the run
+// early; whatever was measured so far is still returned.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return Result{}, err
+	}
+	r := &runner{cfg: cfg, cl: &client{base: cfg.Base, hc: cfg.HTTP}, ops: map[string]*op{}}
+	for _, name := range append(append([]string{}, jobOps...), subOps...) {
+		r.ops[name] = &op{}
+	}
+
+	start := time.Now()
+	if cfg.Mode == "open" {
+		r.runOpen(ctx)
+	} else {
+		r.runClosed(ctx)
+	}
+	elapsed := time.Since(start)
+
+	res := Result{
+		Mode:        cfg.Mode,
+		Duration:    elapsed,
+		Sessions:    r.sessions.Load(),
+		RowsFetched: r.rows.Load(),
+		Errors:      r.errs.Load(),
+		Rejected:    r.rejected.Load(),
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.SessionsPerSec = float64(res.Sessions) / secs
+	}
+	for _, name := range append(append([]string{}, jobOps...), subOps...) {
+		o := r.ops[name]
+		snap := o.hist.Snapshot()
+		if snap.Count == 0 && o.errors.Load() == 0 && o.rejected.Load() == 0 {
+			continue
+		}
+		os := OpStats{Name: name, Hist: snap, Errors: o.errors.Load(), Rejected: o.rejected.Load()}
+		if un := o.uncorrected.Snapshot(); un.Count > 0 {
+			os.Uncorrected = &un
+		}
+		res.Ops = append(res.Ops, os)
+	}
+	return res, nil
+}
+
+// runClosed loops Workers goroutines over jobs until the deadline.
+func (r *runner) runClosed(ctx context.Context) {
+	deadline := time.Now().Add(r.cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+			for ctx.Err() == nil && time.Now().Before(deadline) {
+				name := r.pickJob(rng)
+				t0 := time.Now()
+				out := r.runJob(name, rng)
+				r.finishJob(name, out, time.Since(t0), 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runOpen schedules arrivals at the configured rate and has a fixed worker
+// pool execute them. The schedule channel is buffered for the whole run, so
+// when workers fall behind, arrivals queue with their scheduled timestamps
+// intact — exactly the backlog the corrected latency must include.
+func (r *runner) runOpen(ctx context.Context) {
+	interval := time.Duration(float64(time.Second) / r.cfg.Rate)
+	total := int(r.cfg.Rate*r.cfg.Duration.Seconds()) + 1
+	if total > 1<<20 {
+		total = 1 << 20
+	}
+	sched := make(chan time.Time, total)
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+			for scheduled := range sched {
+				if ctx.Err() != nil {
+					continue // drain the schedule without issuing requests
+				}
+				name := r.pickJob(rng)
+				actual := time.Now()
+				out := r.runJob(name, rng)
+				done := time.Now()
+				r.finishJob(name, out, done.Sub(scheduled), done.Sub(actual))
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	deadline := start.Add(r.cfg.Duration)
+	for i := 0; ; i++ {
+		scheduled := start.Add(time.Duration(i) * interval)
+		if scheduled.After(deadline) || ctx.Err() != nil {
+			break
+		}
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case sched <- scheduled:
+		default:
+			// Schedule buffer full (pathologically stalled server): the
+			// arrival is dropped, under-reporting rather than blocking the
+			// scheduler.
+		}
+	}
+	close(sched)
+	wg.Wait()
+}
+
+// pickJob draws a job type from the mix.
+func (r *runner) pickJob(rng *rand.Rand) string {
+	n := rng.Intn(r.cfg.Mix.total())
+	if n < r.cfg.Mix.Session {
+		return "session"
+	}
+	if n < r.cfg.Mix.Session+r.cfg.Mix.Stats {
+		return "stats"
+	}
+	return "upload"
+}
+
+// runJob dispatches one job and returns its outcome.
+func (r *runner) runJob(name string, rng *rand.Rand) outcome {
+	switch name {
+	case "session":
+		return r.sessionJob()
+	case "stats":
+		return r.statsJob()
+	default:
+		return r.uploadJob(rng)
+	}
+}
+
+// finishJob records a completed job's latency (corrected into the main
+// histogram, plus the uncorrected measurement in open-loop mode) and folds
+// its outcome into the run totals.
+func (r *runner) finishJob(name string, out outcome, corrected, uncorrected time.Duration) {
+	o := r.ops[name]
+	o.hist.Observe(corrected.Seconds())
+	if uncorrected > 0 {
+		o.uncorrected.Observe(uncorrected.Seconds())
+	}
+	switch out {
+	case outcomeRejected:
+		o.rejected.Add(1)
+		r.rejected.Add(1)
+	case outcomeError:
+		o.errors.Add(1)
+		r.errs.Add(1)
+	}
+}
+
+// observeOp records one constituent HTTP call of a job.
+func (r *runner) observeOp(name string, d time.Duration, status int, err error) outcome {
+	o := r.ops[name]
+	o.hist.Observe(d.Seconds())
+	out := outcomeOK
+	if err != nil {
+		out = outcomeError
+	} else {
+		out = classify(status)
+	}
+	switch out {
+	case outcomeRejected:
+		o.rejected.Add(1)
+	case outcomeError:
+		o.errors.Add(1)
+	}
+	return out
+}
+
+// sessionJob opens a query, pages up to K rows, and deletes the session.
+func (r *runner) sessionJob() outcome {
+	var qr server.QueryResponse
+	t0 := time.Now()
+	st, err := r.cl.postJSON("/v1/queries", server.QueryRequest{
+		Dataset:     r.cfg.Dataset,
+		Query:       r.cfg.Query,
+		Algorithm:   r.cfg.Algorithm,
+		Parallelism: r.cfg.Parallelism,
+	}, &qr)
+	if out := r.observeOp("create_query", time.Since(t0), st, err); out != outcomeOK {
+		return out
+	}
+	r.recent.Store(qr.ID)
+
+	var fetched int64
+	for fetched < int64(r.cfg.K) {
+		var nr server.NextResponse
+		t := time.Now()
+		st, err := r.cl.get("/v1/queries/"+qr.ID+"/next?k="+strconv.Itoa(r.cfg.PageK), &nr)
+		if out := r.observeOp("next", time.Since(t), st, err); out != outcomeOK {
+			return out
+		}
+		fetched += int64(len(nr.Rows))
+		r.rows.Add(int64(len(nr.Rows)))
+		if nr.Done || len(nr.Rows) == 0 {
+			break
+		}
+	}
+	// Best-effort close; the server's TTL covers a failed delete.
+	_, _ = r.cl.del("/v1/queries/" + qr.ID)
+	r.sessions.Add(1)
+	return outcomeOK
+}
+
+// statsJob polls the most recent session's stats, falling back to the global
+// metrics snapshot before any session exists. A 404 is a success: the poll
+// correctly reported a session that has since drained or been deleted.
+func (r *runner) statsJob() outcome {
+	path := "/v1/metrics"
+	if id, _ := r.recent.Load().(string); id != "" {
+		path = "/v1/queries/" + id + "/stats"
+	}
+	var out map[string]any
+	t0 := time.Now()
+	st, err := r.cl.get(path, &out)
+	if st == http.StatusNotFound {
+		st = http.StatusOK
+	}
+	return r.observeOp("stats", time.Since(t0), st, err)
+}
+
+// uploadJob posts a small random CSV relation into a scratch dataset
+// (created implicitly by the upload endpoint), exercising the ingest path
+// and the dictionary/dataset gauges under load.
+func (r *runner) uploadJob(rng *rand.Rand) outcome {
+	var b strings.Builder
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&b, "%d,%d,%d\n", rng.Intn(50), rng.Intn(50), 1+rng.Intn(9))
+	}
+	t0 := time.Now()
+	st, err := r.cl.uploadCSV("/v1/datasets/"+r.cfg.Dataset+"-scratch/relations/S", b.String())
+	return r.observeOp("upload", time.Since(t0), st, err)
+}
+
+// Setup creates (or replaces) the run's dataset so a load run can start from
+// a clean server.
+func Setup(base string, hc *http.Client, req server.DatasetRequest) error {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	cl := &client{base: strings.TrimRight(base, "/"), hc: hc}
+	var resp server.DatasetResponse
+	st, err := cl.postJSON("/v1/datasets", req, &resp)
+	if err != nil {
+		return err
+	}
+	if st != http.StatusCreated {
+		return fmt.Errorf("loadgen: creating dataset %q: status %d", req.Name, st)
+	}
+	return nil
+}

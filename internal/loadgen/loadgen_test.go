@@ -1,0 +1,210 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"anyk/internal/server"
+)
+
+// realServer boots a full anykd handler with a small dataset loaded.
+func realServer(t *testing.T) (*server.Server, string) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	mgr := server.NewManager(ctx, 64, time.Hour)
+	s := server.New(mgr, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+		cancel()
+	})
+	if err := Setup(ts.URL, nil, server.DatasetRequest{
+		Name: "bench", Kind: "uniform", Relations: 3, N: 200, Domain: 40, Seed: 7,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s, ts.URL
+}
+
+// opByName finds one op's stats in a result.
+func opByName(t *testing.T, res Result, name string) OpStats {
+	t.Helper()
+	for _, op := range res.Ops {
+		if op.Name == name {
+			return op
+		}
+	}
+	t.Fatalf("op %q missing from result %+v", name, res.Ops)
+	return OpStats{}
+}
+
+// TestClosedLoopAgainstRealServer drives the full mix against a real handler
+// and checks the accounting: sessions complete, rows flow, nothing errors,
+// and the records map onto the bench JSON shape.
+func TestClosedLoopAgainstRealServer(t *testing.T) {
+	_, base := realServer(t)
+	res, err := Run(context.Background(), Config{
+		Base:     base,
+		Mode:     "closed",
+		Workers:  3,
+		Duration: 400 * time.Millisecond,
+		K:        15,
+		PageK:    5,
+		Mix:      Mix{Session: 6, Stats: 2, Upload: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions == 0 || res.RowsFetched == 0 {
+		t.Fatalf("no work done: %+v", res)
+	}
+	if res.Errors != 0 || res.Rejected != 0 {
+		t.Fatalf("unexpected failures: errors=%d rejected=%d", res.Errors, res.Rejected)
+	}
+	if res.SessionsPerSec <= 0 {
+		t.Fatalf("sessions/sec = %v", res.SessionsPerSec)
+	}
+	sess := opByName(t, res, "session")
+	if sess.Hist.Count == 0 || sess.Hist.Quantile(0.5) <= 0 {
+		t.Fatalf("session latency histogram empty: %+v", sess)
+	}
+	if cq := opByName(t, res, "create_query"); cq.Hist.Count != uint64(res.Sessions) {
+		t.Fatalf("create_query count %d != sessions %d", cq.Hist.Count, res.Sessions)
+	}
+
+	recs := Records("load1", res)
+	if len(recs) < 2 {
+		t.Fatalf("records: %+v", recs)
+	}
+	for _, r := range recs {
+		if r.Figure != "load1" || r.N == 0 || r.DelayP50 <= 0 {
+			t.Fatalf("malformed record %+v", r)
+		}
+	}
+	var sawOps bool
+	for _, r := range recs {
+		if r.Series == "session" && r.OpsPerSec > 0 {
+			sawOps = true
+		}
+	}
+	if !sawOps {
+		t.Fatal("session record missing ops_per_sec")
+	}
+	if _, err := json.Marshal(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// stalledServer is a minimal API stub whose query create blocks for
+// serviceTime, simulating a stalled server that can only complete one
+// request per serviceTime per worker.
+func stalledServer(t *testing.T, serviceTime time.Duration) string {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/queries", func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(serviceTime)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "stub", "vars": []string{"x"}, "trees": 1})
+	})
+	mux.HandleFunc("GET /v1/queries/stub/next", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{"id": "stub", "rows": []any{}, "served": 0, "done": true})
+	})
+	mux.HandleFunc("DELETE /v1/queries/stub", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// TestOpenLoopCoordinatedOmissionCorrection is the harness's core claim: with
+// one worker against a server whose service time far exceeds the arrival
+// interval, the corrected (scheduled-send) percentiles must blow past the
+// uncorrected (actual-send) ones, because every queued arrival accumulates
+// scheduled lateness the naive measurement never sees.
+func TestOpenLoopCoordinatedOmissionCorrection(t *testing.T) {
+	base := stalledServer(t, 25*time.Millisecond)
+	res, err := Run(context.Background(), Config{
+		Base:     base,
+		Mode:     "open",
+		Workers:  1,
+		Rate:     200, // 5ms arrival interval vs 25ms service time: backlog grows
+		Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := opByName(t, res, "session")
+	if sess.Hist.Count == 0 {
+		t.Fatal("no session jobs completed")
+	}
+	if sess.Uncorrected == nil || sess.Uncorrected.Count == 0 {
+		t.Fatal("open-loop run recorded no uncorrected histogram")
+	}
+	corrected := sess.Hist.Quantile(0.99)
+	uncorrected := sess.Uncorrected.Quantile(0.99)
+	if corrected < 3*uncorrected {
+		t.Fatalf("corrected p99 %.4fs not ≫ uncorrected p99 %.4fs: coordinated omission not corrected",
+			corrected, uncorrected)
+	}
+	// The uncorrected view is bounded by roughly the service time; the
+	// corrected view must reflect the growing backlog instead.
+	if corrected < 0.050 {
+		t.Fatalf("corrected p99 %.4fs does not show the backlog", corrected)
+	}
+
+	recs := Records("load1-open", res)
+	var haveCorrected, haveUncorrected bool
+	for _, r := range recs {
+		switch r.Series {
+		case "session":
+			haveCorrected = true
+		case "session/uncorrected":
+			haveUncorrected = true
+		}
+	}
+	if !haveCorrected || !haveUncorrected {
+		t.Fatalf("open-loop records missing corrected/uncorrected pair: %+v", recs)
+	}
+}
+
+// TestAdmission429CountedAsRejected pins a live session into a
+// MaxSessions=1 server and checks that loadgen files the resulting 429s
+// under Rejected, never Errors.
+func TestAdmission429CountedAsRejected(t *testing.T) {
+	s, base := realServer(t)
+	s.MaxSessions = 1
+
+	// Hold the only admission slot with a live (not drained) session.
+	cl := &client{base: base, hc: http.DefaultClient}
+	var qr server.QueryResponse
+	if st, err := cl.postJSON("/v1/queries", server.QueryRequest{Dataset: "bench", Query: "path3"}, &qr); err != nil || st != http.StatusCreated {
+		t.Fatalf("pinning session: status %d err %v", st, err)
+	}
+
+	res, err := Run(context.Background(), Config{
+		Base:     base,
+		Workers:  4,
+		Duration: 200 * time.Millisecond,
+		Mix:      Mix{Session: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rejected == 0 {
+		t.Fatalf("expected 429 rejections, got %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("admission 429s misfiled as hard errors: %+v", res)
+	}
+	if cq := opByName(t, res, "create_query"); cq.Rejected == 0 || cq.Errors != 0 {
+		t.Fatalf("create_query accounting wrong: %+v", cq)
+	}
+}

@@ -1,0 +1,46 @@
+package loadgen
+
+import "anyk/internal/bench"
+
+// Records flattens a run into bench.Record rows under the given figure id
+// (one per operation), so loadgen output rides the same BENCH_results.json
+// envelope — and the same benchdiff gate — as the figure benchmarks. Request
+// latency percentiles land in the delay_* fields; open-loop series get a
+// companion "<op>/uncorrected" record exposing the coordinated-omission gap.
+func Records(figure string, res Result) []bench.Record {
+	var out []bench.Record
+	for _, op := range res.Ops {
+		r := bench.Record{
+			Figure:   figure,
+			Series:   op.Name,
+			N:        int(op.Hist.Count),
+			DelayP50: op.Hist.Quantile(0.50),
+			DelayP90: op.Hist.Quantile(0.90),
+			DelayP95: op.Hist.Quantile(0.95),
+			DelayP99: op.Hist.Quantile(0.99),
+			DelayMax: op.Hist.Max,
+			Errors:   op.Errors,
+			Rejected: op.Rejected,
+			Points:   []bench.Point{},
+		}
+		if op.Name == "session" {
+			r.OpsPerSec = res.SessionsPerSec
+		}
+		out = append(out, r)
+		if op.Uncorrected != nil {
+			u := *op.Uncorrected
+			out = append(out, bench.Record{
+				Figure:   figure,
+				Series:   op.Name + "/uncorrected",
+				N:        int(u.Count),
+				DelayP50: u.Quantile(0.50),
+				DelayP90: u.Quantile(0.90),
+				DelayP95: u.Quantile(0.95),
+				DelayP99: u.Quantile(0.99),
+				DelayMax: u.Max,
+				Points:   []bench.Point{},
+			})
+		}
+	}
+	return out
+}

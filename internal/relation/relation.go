@@ -210,6 +210,15 @@ func (r *Relation) Add(w float64, vals ...Value) int {
 // Size returns the number of rows.
 func (r *Relation) Size() int { return len(r.Rows) }
 
+// SizeBytes estimates the relation's resident heap size: per-row slice
+// headers plus int64 values plus weights. Indexes and memoized artifacts are
+// not counted — this is the admission-control-facing "how big is the raw
+// data" figure, deliberately cheap enough to call at metrics-scrape time.
+func (r *Relation) SizeBytes() int64 {
+	const sliceHeader = 24
+	return int64(len(r.Rows))*(sliceHeader+int64(r.Arity())*8) + int64(len(r.Weights))*8
+}
+
 // Arity returns the number of attributes.
 func (r *Relation) Arity() int { return len(r.Attrs) }
 

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// postJSON is doJSON with access to the raw response, for header assertions.
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestMaxSessionsReturns429 drives the session admission limit end to end:
+// the rejection is a structured 429 with Retry-After, it is visible in both
+// metrics surfaces, and draining the blocking session readmits new work.
+func TestMaxSessionsReturns429(t *testing.T) {
+	s, ts := testServer(t, 8)
+	s.MaxSessions = 1
+	mustCreateDataset(t, ts.URL, "adm")
+
+	q := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "adm", Query: "path3"})
+
+	// The table holds one live (not drained) session: the next create must be
+	// rejected, not admitted and not evict the live session.
+	resp := postJSON(t, ts.URL+"/v1/queries", QueryRequest{Dataset: "adm", Query: "path3"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeSessionLimit || er.Error.RetryAfterSeconds != 1 {
+		t.Fatalf("error body %+v, want code %q with retry_after_seconds 1", er.Error, CodeSessionLimit)
+	}
+	if _, err := s.Sessions.Acquire(q.ID); err != nil {
+		t.Fatalf("live session was disturbed by admission: %v", err)
+	}
+
+	// Both metrics surfaces report the rejection.
+	var mr MetricsResponse
+	if st := doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &mr); st != http.StatusOK {
+		t.Fatalf("/v1/metrics status %d", st)
+	}
+	if mr.AdmissionRejected != 1 {
+		t.Fatalf("admission_rejected = %d, want 1", mr.AdmissionRejected)
+	}
+	prom, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, _ := io.ReadAll(prom.Body)
+	prom.Body.Close()
+	if !strings.Contains(string(promBody), `anykd_admission_rejected_total{reason="sessions"} 1`) {
+		t.Fatalf("Prometheus exposition lacks the admission counter:\n%s", promBody)
+	}
+
+	// Drain the session; Admit must reclaim it and admit the next create.
+	for !nextPage(t, ts.URL, q.ID, 1000).Done {
+	}
+	mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "adm", Query: "path3"})
+}
+
+// TestMaxInflightRejectsExcess exercises the request-concurrency cap against
+// the middleware directly (the same way TestPanicRecoveryMiddleware does),
+// with a handler parked on a channel to hold the only slot.
+func TestMaxInflightRejectsExcess(t *testing.T) {
+	mgr := NewManager(context.Background(), 4, 0)
+	defer mgr.Close()
+	s := New(mgr, nil)
+	s.MaxInflight = 1
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	h := s.instrument(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		once.Do(func() { close(entered) })
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	defer close(release)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/slow")
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-entered
+
+	// Slot is held: a second request is turned away immediately.
+	resp, err := http.Get(ts.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", ra)
+	}
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Code != CodeOverloaded {
+		t.Fatalf("code %q, want %q", er.Error.Code, CodeOverloaded)
+	}
+
+	// Observability endpoints bypass the cap even while saturated.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r2, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s under saturation: status %d, want 200", path, r2.StatusCode)
+		}
+	}
+
+	release <- struct{}{}
+	if err := <-errc; err != nil {
+		t.Fatalf("parked request failed: %v", err)
+	}
+}
+
+// TestManagerAdmitReclaimsDrained checks the reclaim order at the Manager
+// level: drained sessions free capacity for admission, live ones never do.
+func TestManagerAdmitReclaimsDrained(t *testing.T) {
+	m := NewManager(context.Background(), 8, time.Hour)
+	a := m.Create(newStub(), "qa", "min", "Take2")
+	b := m.Create(newStub(), "qb", "min", "Take2")
+
+	if m.Admit(2) {
+		t.Fatal("admitted past the limit with two live sessions")
+	}
+	var evicted []string
+	m.OnEvict = func(s *Session, reason string) { evicted = append(evicted, s.ID+":"+reason) }
+	a.MarkDone()
+	if !m.Admit(2) {
+		t.Fatal("drained session not reclaimed for admission")
+	}
+	if len(evicted) != 1 || evicted[0] != a.ID+":drained" {
+		t.Fatalf("OnEvict calls %v, want [%s:drained]", evicted, a.ID)
+	}
+	if _, err := m.Acquire(b.ID); err != nil {
+		t.Fatalf("live session evicted by Admit: %v", err)
+	}
+	if _, err := m.Acquire(a.ID); err != ErrSessionNotFound {
+		t.Fatalf("drained session should be gone, got err=%v", err)
+	}
+}
+
+// TestRequestIDAssignedAndEchoed covers the request-id middleware: a caller
+// id round-trips, and absent one the server mints one.
+func TestRequestIDAssignedAndEchoed(t *testing.T) {
+	_, ts := testServer(t, 4)
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-Id", "caller-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-7" {
+		t.Fatalf("X-Request-Id = %q, want caller-7", got)
+	}
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-Id"); len(got) != 16 {
+		t.Fatalf("minted X-Request-Id = %q, want 16 hex chars", got)
+	}
+}

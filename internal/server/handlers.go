@@ -22,6 +22,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -80,6 +81,23 @@ type Server struct {
 	// defaultMaxParallelism; set before serving.
 	MaxParallelism int
 
+	// MaxSessions is the admission limit on live sessions: query creates past
+	// it are rejected with 429 (code "session_limit") after drained and
+	// expired sessions have been reclaimed — live sessions are never evicted
+	// to admit new ones. 0 disables admission control (the Manager's LRU
+	// capacity still bounds the table). Set before serving.
+	MaxSessions int
+	// MaxInflight caps concurrently executing requests; excess requests get
+	// 429 (code "overloaded") instead of queueing. Health and metrics
+	// endpoints are exempt so the service stays observable under overload.
+	// 0 disables the cap. Set before serving.
+	MaxInflight int
+
+	// inflight is the request-concurrency semaphore, created lazily on the
+	// first instrumented request so MaxInflight set after New still applies.
+	inflight     chan struct{}
+	inflightOnce sync.Once
+
 	// Hot-path counters, resolved once in New so handlers skip the registry's
 	// get-or-create lock per row page.
 	rowsServed      *obs.Counter
@@ -123,7 +141,73 @@ func New(sessions *Manager, logger *slog.Logger) *Server {
 		func() float64 { return float64(s.cacheStats().Misses) })
 	reg.GaugeFunc("anykd_plan_cache_entries", "Live compiled-plan cache entries, summed over datasets.",
 		func() float64 { return float64(s.cacheStats().Entries) })
+	// Resource-accounting gauges: what the process is holding, read live at
+	// scrape time. Session counts split by lifecycle state; buffered rows are
+	// the ranked results already pulled through live iterators.
+	reg.GaugeFunc("anykd_sessions_by_state", "Live sessions by lifecycle state.",
+		func() float64 { a, _ := sessions.StateCounts(); return float64(a) }, "state", "active")
+	reg.GaugeFunc("anykd_sessions_by_state", "Live sessions by lifecycle state.",
+		func() float64 { _, d := sessions.StateCounts(); return float64(d) }, "state", "drained")
+	reg.GaugeFunc("anykd_sessions_buffered_rows", "Ranked rows emitted so far, summed over live sessions.",
+		func() float64 { return float64(sessions.BufferedRows()) })
+	reg.GaugeFunc("anykd_datasets", "Registered datasets.",
+		func() float64 { return float64(s.resourceStats().datasets) })
+	reg.GaugeFunc("anykd_dataset_rows", "Stored relation rows, summed over datasets (aliases counted once).",
+		func() float64 { return float64(s.resourceStats().rows) })
+	reg.GaugeFunc("anykd_dataset_bytes", "Estimated resident bytes of stored relations.",
+		func() float64 { return float64(s.resourceStats().bytes) })
+	reg.GaugeFunc("anykd_dict_entries", "Dictionary-encoded values held, by kind.",
+		func() float64 { return float64(s.resourceStats().dictStrings) }, "kind", "string")
+	reg.GaugeFunc("anykd_dict_entries", "Dictionary-encoded values held, by kind.",
+		func() float64 { return float64(s.resourceStats().dictFloats) }, "kind", "float")
+	// Lifecycle logging for evictions: the manager fires this under its lock,
+	// so it must stay log-only.
+	if sessions.OnEvict == nil {
+		sessions.OnEvict = func(sess *Session, reason string) {
+			s.Log.Info("session evicted", "id", sess.ID, "reason", reason,
+				"served", sess.Served(), "age", time.Since(sess.CreatedAt()).Round(time.Millisecond))
+		}
+	}
 	return s
+}
+
+// resourceFootprint aggregates the dataset registry's resident state for the
+// resource gauges.
+type resourceFootprint struct {
+	datasets    int
+	rows        int64
+	bytes       int64
+	dictStrings int64
+	dictFloats  int64
+}
+
+// resourceStats walks the dataset registry, counting aliased relations and
+// shared dictionaries once (by pointer identity).
+func (s *Server) resourceStats() resourceFootprint {
+	var f resourceFootprint
+	seenRel := map[*relation.Relation]bool{}
+	seenDict := map[*relation.Dictionary]bool{}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	f.datasets = len(s.datasets)
+	for _, entry := range s.datasets {
+		for _, name := range entry.db.Names() {
+			rel := entry.db.Relation(name)
+			if seenRel[rel] {
+				continue
+			}
+			seenRel[rel] = true
+			f.rows += int64(rel.Size())
+			f.bytes += rel.SizeBytes()
+		}
+		if d := entry.db.Dict(); d != nil && !seenDict[d] {
+			seenDict[d] = true
+			strs, floats := d.Len()
+			f.dictStrings += int64(strs)
+			f.dictFloats += int64(floats)
+		}
+	}
+	return f
 }
 
 // cacheStats aggregates the per-dataset compiled-plan cache counters.
@@ -225,13 +309,60 @@ func routeLabel(r *http.Request) string {
 	return "unmatched"
 }
 
-// instrument wraps h with panic recovery, per-route request counting, a
-// per-route latency histogram, and structured request logging. Metrics are
-// recorded after ServeHTTP returns, when the mux has stamped r.Pattern.
+// ctxKeyRequestID carries the request id through the handler chain.
+type ctxKeyRequestID struct{}
+
+// requestID returns the id the middleware assigned to r ("" outside it).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ctxKeyRequestID{}).(string)
+	return id
+}
+
+// exemptFromInflight lists the endpoints the in-flight cap never rejects:
+// liveness and metrics must stay reachable precisely when the service is
+// saturated, or overload would blind the monitoring that explains it.
+func exemptFromInflight(path string) bool {
+	return path == "/healthz" || path == "/metrics" || path == "/v1/metrics"
+}
+
+// instrument wraps h with request-id assignment, the in-flight admission
+// cap, panic recovery, per-route request counting, a per-route latency
+// histogram, and structured request logging. Metrics are recorded after
+// ServeHTTP returns, when the mux has stamped r.Pattern.
 func (s *Server) instrument(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		// Propagate the caller's X-Request-Id or mint one, so every log line
+		// and lifecycle event for this request shares a grep key.
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = newID()[:16]
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyRequestID{}, reqID))
+
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+
+		// In-flight cap: try-acquire, never queue — under overload a fast 429
+		// with Retry-After beats an unbounded goroutine pileup.
+		if s.MaxInflight > 0 && !exemptFromInflight(r.URL.Path) {
+			s.inflightOnce.Do(func() { s.inflight = make(chan struct{}, s.MaxInflight) })
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.Reg.Counter("anykd_admission_rejected_total",
+					"Requests rejected with 429 by admission control, by reason.",
+					"reason", "inflight").Inc()
+				s.Reg.Counter("anykd_http_requests_total", "HTTP requests served.",
+					"route", "rejected", "code", "429").Inc()
+				s.Log.Warn("request rejected: in-flight cap", "request_id", reqID,
+					"path", r.URL.Path, "max_inflight", s.MaxInflight)
+				writeRejected(sw, CodeOverloaded,
+					fmt.Sprintf("server is at its in-flight request cap (%d)", s.MaxInflight), 1)
+				return
+			}
+		}
 		defer func() {
 			route := routeLabel(r)
 			if rec := recover(); rec != nil {
@@ -254,6 +385,7 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 				"route", route,
 				"status", sw.status,
 				"duration", time.Since(start),
+				"request_id", reqID,
 			)
 		}()
 		h.ServeHTTP(sw, r)
@@ -563,6 +695,19 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, CodeDatasetNotFound, fmt.Sprintf("dataset %q not found", req.Dataset))
 		return
 	}
+	// Admission gate, checked before the expensive iterator build: reclaim
+	// drained/expired sessions, then reject — never evict a live session to
+	// make room for a new one.
+	if s.MaxSessions > 0 && !s.Sessions.Admit(s.MaxSessions) {
+		s.Reg.Counter("anykd_admission_rejected_total",
+			"Requests rejected with 429 by admission control, by reason.",
+			"reason", "sessions").Inc()
+		s.Log.Warn("query rejected: session limit", "request_id", requestID(r),
+			"dataset", req.Dataset, "max_sessions", s.MaxSessions)
+		writeRejected(w, CodeSessionLimit,
+			fmt.Sprintf("session table is at its admission limit (%d); retry after a session drains or expires", s.MaxSessions), 1)
+		return
+	}
 	// entry.db is safe to read lock-free for however long the enumeration
 	// build takes: uploads replace the registered DB (copy-on-write), never
 	// mutate it. The per-dataset cache lets sessions over the same version
@@ -579,7 +724,8 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 	sess.Mu.Unlock()
 	s.Reg.Counter("anykd_sessions_opened_total", "Sessions opened, by any-k algorithm.",
 		"algorithm", o.alg.String()).Inc()
-	s.Log.Info("session created", "id", sess.ID, "query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
+	s.Log.Info("session created", "id", sess.ID, "request_id", requestID(r),
+		"query", sess.Query, "dioid", sess.Dioid, "algorithm", sess.Algorithm)
 	if s.Log.Enabled(r.Context(), slog.LevelDebug) {
 		// Mirror the compile/build/merge spans into the structured log at -v,
 		// so phase timings are greppable without hitting the stats endpoint.
@@ -622,7 +768,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		Vars:      sess.It.Vars(),
 		Types:     wireTypes(sess.It),
 		Trees:     sess.It.Trees(),
-		Served:    sess.Served,
+		Served:    sess.Served(),
 		Done:      sess.IsDone(),
 		Plan:      sess.It.Plan(),
 	}
@@ -662,15 +808,24 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 			// truncated, not complete.
 			if sess.Ctx.Err() == nil {
 				sess.MarkDone()
-				if sess.Trace != nil && s.Log.Enabled(r.Context(), slog.LevelDebug) {
+				attrs := []any{"id", sess.ID, "request_id", requestID(r), "served", sess.Served(),
+					"lifetime", time.Since(sess.CreatedAt()).Round(time.Millisecond)}
+				if sess.Trace != nil {
 					d := sess.Trace.DelaySnapshot()
-					s.Log.Debug("session drained", "id", sess.ID, "served", sess.Served,
-						"delay_p50_s", d.Quantile(0.5), "delay_p99_s", d.Quantile(0.99))
+					attrs = append(attrs, "delay_p50_s", d.Quantile(0.5), "delay_p99_s", d.Quantile(0.99))
 				}
+				s.Log.Info("session drained", attrs...)
 			}
 			break
 		}
-		sess.Served++
+		rank := sess.incServed()
+		if rank == 1 {
+			// Time-to-first-result at the API surface: creation to the first
+			// row leaving the iterator, the paper's headline metric as a
+			// service-level observation.
+			s.Log.Info("session first result", "id", sess.ID, "request_id", requestID(r),
+				"ttf", time.Since(sess.CreatedAt()).Round(time.Microsecond))
+		}
 		// Wire format v2: typed sessions decode codes into logical JSON
 		// values; int64-only sessions serve the raw values, byte-identical
 		// to the v1 encoding.
@@ -678,9 +833,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 		if typed {
 			wireVals = sess.It.TypedVals(vals)
 		}
-		resp.Rows = append(resp.Rows, WireRow{Rank: sess.Served, Vals: wireVals, Weight: weight})
+		resp.Rows = append(resp.Rows, WireRow{Rank: rank, Vals: wireVals, Weight: weight})
 	}
-	resp.Served, resp.Done = sess.Served, sess.IsDone()
+	resp.Served, resp.Done = sess.Served(), sess.IsDone()
 	sess.Mu.Unlock()
 	s.rowsServed.Add(int64(len(resp.Rows)))
 	writeJSON(w, http.StatusOK, resp)
@@ -699,7 +854,7 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	st := sess.It.Stats()
 	resp := SessionStatsResponse{
 		ID:                 sess.ID,
-		Served:             sess.Served,
+		Served:             sess.Served(),
 		Done:               sess.IsDone(),
 		CandidatesInserted: st.CandidatesInserted,
 		MaxQueueSize:       st.MaxQueueSize,
@@ -789,6 +944,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		case "anykd_http_panics_total":
 			for _, smp := range fam.Samples {
 				resp.PanicsRecovered += int64(smp.Value)
+			}
+		case "anykd_admission_rejected_total":
+			for _, smp := range fam.Samples {
+				resp.AdmissionRejected += int64(smp.Value)
 			}
 		case "anykd_sessions_opened_total":
 			for _, smp := range fam.Samples {

@@ -27,14 +27,18 @@ type Session struct {
 	Dioid     string
 	Algorithm string
 
-	// Mu guards It, Served, and Trace.
-	Mu     sync.Mutex
-	It     Iter
-	Served int
+	// Mu guards It and Trace.
+	Mu sync.Mutex
+	It Iter
 	// Trace is the session's per-query phase/delay trace (nil for sessions
 	// created without one, e.g. directly through Manager.Create in tests).
 	// obs.Trace methods are nil-safe, so readers need no guard beyond Mu.
 	Trace *obs.Trace
+
+	// served counts ranked rows emitted so far. It is atomic rather than
+	// Mu-guarded so resource-accounting gauges can read it at scrape time
+	// while a handler holds Mu for a whole page.
+	served atomic.Int64
 
 	// done records that the iterator is exhausted. It is an atomic (not
 	// Mu-guarded) so the manager can read it during Acquire without taking
@@ -61,6 +65,17 @@ func (s *Session) MarkDone() { s.done.Store(true) }
 // IsDone reports whether the stream is exhausted.
 func (s *Session) IsDone() bool { return s.done.Load() }
 
+// Served returns how many ranked rows the session has emitted.
+func (s *Session) Served() int { return int(s.served.Load()) }
+
+// incServed bumps the emitted-row count and returns the new value — the rank
+// of the row just produced.
+func (s *Session) incServed() int { return int(s.served.Add(1)) }
+
+// CreatedAt returns the session's creation time (for time-to-first-result
+// accounting). It is written once before the session becomes reachable.
+func (s *Session) CreatedAt() time.Time { return s.created }
+
 // Manager owns the session table: capacity-bounded LRU with TTL expiry.
 // All exported methods are safe for concurrent use.
 type Manager struct {
@@ -73,6 +88,12 @@ type Manager struct {
 	now      func() time.Time // swappable for tests
 	evicted  atomic.Int64
 	created  atomic.Int64
+
+	// OnEvict, when non-nil, is called (under the manager lock) for every
+	// session removed by TTL, LRU-capacity, or admission reclaim, with a
+	// reason of "ttl", "capacity", or "drained". It must be fast and must not
+	// call back into the Manager. Set before serving.
+	OnEvict func(s *Session, reason string)
 }
 
 // NewManager returns a Manager holding at most capacity sessions, each
@@ -127,7 +148,7 @@ func (m *Manager) Create(it Iter, queryName, dioidName, algName string) *Session
 		if oldest == nil {
 			break
 		}
-		m.evictLocked(oldest.Value.(*Session))
+		m.evictLocked(oldest.Value.(*Session), "capacity")
 	}
 	s.elem = m.lru.PushFront(s)
 	m.byID[s.ID] = s
@@ -153,7 +174,7 @@ func (m *Manager) Acquire(id string) (*Session, error) {
 	}
 	now := m.now()
 	if m.ttl > 0 && now.Sub(s.lastUsed) > m.ttl {
-		m.evictLocked(s)
+		m.evictLocked(s, "ttl")
 		return nil, ErrSessionNotFound
 	}
 	if !s.IsDone() {
@@ -194,7 +215,7 @@ func (m *Manager) Sweep() int {
 			break // LRU order ⇒ everything in front is fresher
 		}
 		prev := e.Prev()
-		m.evictLocked(s)
+		m.evictLocked(s, "ttl")
 		e = prev
 		n++
 	}
@@ -217,15 +238,76 @@ func (m *Manager) Len() int {
 	return len(m.byID)
 }
 
+// Admit decides whether a new session may be created under an admission
+// limit. Under one lock it first reclaims free capacity — TTL-expired
+// sessions, then drained (IsDone) sessions from the cold end of the LRU —
+// and then admits iff the live count is below limit. Drained sessions never
+// block new work, but a session that is still enumerable is never evicted to
+// make room: past the limit the caller must reject (429), not evict.
+//
+// Admission is checked before the (expensive) iterator build, so a burst of
+// concurrent creates can momentarily overshoot the limit; the table's LRU
+// capacity remains the hard backstop.
+func (m *Manager) Admit(limit int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.byID) < limit {
+		return true
+	}
+	now := m.now()
+	for e := m.lru.Back(); e != nil && len(m.byID) >= limit; {
+		s := e.Value.(*Session)
+		prev := e.Prev()
+		switch {
+		case m.ttl > 0 && now.Sub(s.lastUsed) > m.ttl:
+			m.evictLocked(s, "ttl")
+		case s.IsDone():
+			m.evictLocked(s, "drained")
+		}
+		e = prev
+	}
+	return len(m.byID) < limit
+}
+
+// StateCounts returns the live session population split into still-enumerable
+// ("active") and exhausted-but-not-yet-expired ("drained") sessions.
+func (m *Manager) StateCounts() (active, drained int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.byID {
+		if s.IsDone() {
+			drained++
+		} else {
+			active++
+		}
+	}
+	return active, drained
+}
+
+// BufferedRows sums the emitted-row counts of every live session: a proxy for
+// the result state the session table is holding on behalf of clients.
+func (m *Manager) BufferedRows() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, s := range m.byID {
+		n += s.served.Load()
+	}
+	return n
+}
+
 // Evicted returns how many sessions TTL/LRU eviction has removed.
 func (m *Manager) Evicted() int64 { return m.evicted.Load() }
 
 // Created returns how many sessions have ever been created.
 func (m *Manager) Created() int64 { return m.created.Load() }
 
-func (m *Manager) evictLocked(s *Session) {
+func (m *Manager) evictLocked(s *Session, reason string) {
 	m.removeLocked(s)
 	m.evicted.Add(1)
+	if m.OnEvict != nil {
+		m.OnEvict(s, reason)
+	}
 }
 
 func (m *Manager) removeLocked(s *Session) {

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
 
 	"anyk/internal/engine"
 )
@@ -15,6 +16,12 @@ const (
 	CodeSessionNotFound = "session_not_found"
 	CodePayloadTooLarge = "payload_too_large"
 	CodeInternal        = "internal"
+	// CodeSessionLimit rejects a query create because the session table is at
+	// its admission limit (-max-sessions) with no reclaimable sessions; 429.
+	CodeSessionLimit = "session_limit"
+	// CodeOverloaded rejects any request past the in-flight request cap
+	// (-max-inflight); 429.
+	CodeOverloaded = "overloaded"
 )
 
 // ErrorResponse is the structured error body every non-2xx response carries.
@@ -23,9 +30,12 @@ type ErrorResponse struct {
 }
 
 // ErrorBody is the code + human-readable message of an ErrorResponse.
+// RetryAfterSeconds accompanies 429 admission rejections (mirroring the
+// Retry-After header) and is absent on other errors.
 type ErrorBody struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // DatasetRequest creates or regenerates a named dataset (POST /v1/datasets).
@@ -163,6 +173,10 @@ type MetricsResponse struct {
 	PlanCacheEntries int   `json:"plan_cache_entries"`
 	// PanicsRecovered counts handler panics the middleware turned into 500s.
 	PanicsRecovered int64 `json:"panics_recovered"`
+	// AdmissionRejected counts requests turned away with 429 by the session
+	// and in-flight limits (healthy backpressure, split by reason in the
+	// Prometheus counter anykd_admission_rejected_total).
+	AdmissionRejected int64 `json:"admission_rejected,omitempty"`
 	// Routes breaks requests down by matched route pattern.
 	Routes map[string]*RouteMetrics `json:"routes,omitempty"`
 	// SessionsByAlgorithm counts opened sessions per any-k algorithm.
@@ -246,4 +260,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError writes a structured ErrorResponse.
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, ErrorResponse{Error: ErrorBody{Code: code, Message: msg}})
+}
+
+// writeRejected writes a structured 429 with a Retry-After header, so clients
+// and load generators can distinguish backpressure from hard failure.
+func writeRejected(w http.ResponseWriter, code, msg string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, http.StatusTooManyRequests, ErrorResponse{
+		Error: ErrorBody{Code: code, Message: msg, RetryAfterSeconds: retryAfter}})
 }
