@@ -282,8 +282,8 @@ func negate(db *relation.DB) *relation.DB {
 	for _, name := range db.Names() {
 		r := db.Relation(name)
 		nr := relation.New(name, r.Attrs...)
-		for i := range r.Rows {
-			nr.Add(-r.Weights[i], r.Rows[i]...)
+		for i := range r.Rows() {
+			nr.Add(-r.Weights[i], r.Row(i)...)
 		}
 		out.AddRelation(nr)
 	}

@@ -1,11 +1,16 @@
 // Command benchdiff compares two BENCH_results.json files (a committed
 // baseline and a fresh run) metric-by-metric — time-to-first-result, total
-// time, inter-result delay p99, and allocs/op — and exits nonzero when any
-// metric regressed past the threshold. CI runs it as an advisory gate; the
-// noise floors keep microsecond baselines from flagging scheduler jitter.
+// time, inter-result delay p99, and allocs/op — and exits nonzero when a
+// metric regressed past the threshold. -fail-metrics restricts which metrics
+// can fail the run: everything is still compared and printed, but only the
+// named metrics turn the exit code red. CI gates on allocs_per_op (counting
+// allocations is deterministic) while the time metrics stay advisory (shared
+// runners are noisy); the noise floors keep tiny baselines from flagging
+// jitter either way.
 //
 //	benchdiff BENCH_baseline.json BENCH_results.json
 //	benchdiff -threshold 0.5 -min-seconds 0.005 old.json new.json
+//	benchdiff -fail-metrics allocs_per_op -min-allocs 0.5 old.json new.json
 //
 // Exit codes: 0 = no regression, 1 = regression found, 2 = usage/IO error.
 package main
@@ -14,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"anyk/internal/bench"
 )
@@ -22,6 +28,7 @@ var (
 	thresholdFlag = flag.Float64("threshold", 0.30, "relative slowdown allowed before a metric is flagged (0.30 = 30%)")
 	minSecsFlag   = flag.Float64("min-seconds", 0.002, "noise floor for time metrics: baselines below this are never flagged")
 	minAllocsFlag = flag.Float64("min-allocs", 64, "noise floor for allocs/op")
+	failFlag      = flag.String("fail-metrics", "", "comma-separated metrics whose regressions fail the run (empty = all); others are advisory")
 )
 
 func main() {
@@ -47,8 +54,19 @@ func main() {
 	printMeta("new", cur.Meta)
 	rows := bench.Diff(base.Records, cur.Records, opt)
 	bench.PrintDiff(os.Stdout, rows, opt)
-	if bench.HasRegression(rows) {
+	var failOn []string
+	if *failFlag != "" {
+		for _, m := range strings.Split(*failFlag, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				failOn = append(failOn, m)
+			}
+		}
+	}
+	if bench.HasRegressionIn(rows, failOn...) {
 		os.Exit(1)
+	}
+	if len(failOn) > 0 && bench.HasRegression(rows) {
+		fmt.Println("(advisory regressions above did not fail the run: see -fail-metrics)")
 	}
 }
 

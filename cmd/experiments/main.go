@@ -285,6 +285,15 @@ var experiments = []experiment{
 	{"cache1", "compiled-plan cache: cold vs warm session TTF on the fig10a dataset", cache1},
 
 	{"typed1", "typed ingest: dictionary-encoded string dataset vs pre-encoded int64 twin (4-path)", typed1},
+
+	// mem1 is the allocation-discipline workload: the fig10a serial drain,
+	// recorded for its allocs/op and bytes/op series (the bench harness
+	// brackets each run with MemStats). The committed BENCH_baseline.json
+	// pins the columnar-storage numbers; cmd/benchdiff gates allocs_per_op
+	// against them in CI.
+	{"mem1", "allocation discipline: allocs/op + bytes/op on the fig10a serial drain", func() {
+		panel("mem1", "4-Path synthetic (allocation discipline: allocs/op, bytes/op)", query.PathQuery(4), dataset.Uniform(4, sc(1000), *seedFlag), 0)
+	}},
 }
 
 // typed1 measures what the typed value domain costs: a 4-path workload over
@@ -305,8 +314,8 @@ func typed1() {
 	for _, name := range base.Names() {
 		r := base.Relation(name)
 		var sb strings.Builder
-		for i, row := range r.Rows {
-			fmt.Fprintf(&sb, "user-%d,user-%d,%g\n", row[0], row[1], r.Weights[i])
+		for i := 0; i < r.Size(); i++ {
+			fmt.Fprintf(&sb, "user-%d,user-%d,%g\n", r.At(i, 0), r.At(i, 1), r.Weights[i])
 		}
 		csvs[name] = sb.String()
 	}
@@ -335,8 +344,10 @@ func typed1() {
 				for _, name := range base.Names() {
 					src := base.Relation(name)
 					r := relation.New(name, src.Attrs...)
-					for i, row := range src.Rows {
-						r.Add(src.Weights[i], row...)
+					buf := make([]relation.Value, 0, src.Arity())
+					for i := 0; i < src.Size(); i++ {
+						buf = src.AppendRow(buf[:0], i)
+						r.Add(src.Weights[i], buf...)
 					}
 					db.AddRelation(r)
 				}
@@ -678,8 +689,10 @@ func negateWeights(db *relation.DB) *relation.DB {
 	for _, name := range db.Names() {
 		r := db.Relation(name)
 		nr := relation.New(name, r.Attrs...)
-		for i := range r.Rows {
-			nr.Add(-r.Weights[i], r.Rows[i]...)
+		buf := make([]relation.Value, 0, r.Arity())
+		for i := 0; i < r.Size(); i++ {
+			buf = r.AppendRow(buf[:0], i)
+			nr.Add(-r.Weights[i], buf...)
 		}
 		out.AddRelation(nr)
 	}

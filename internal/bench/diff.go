@@ -136,9 +136,25 @@ func Diff(base, cur []Record, opt DiffOptions) []DiffRow {
 
 // HasRegression reports whether any row is flagged.
 func HasRegression(rows []DiffRow) bool {
+	return HasRegressionIn(rows)
+}
+
+// HasRegressionIn reports whether any row on one of the named metrics is
+// flagged. With no names, every metric counts (HasRegression). Unknown names
+// simply never match, so a caller gating on a metric the file does not record
+// gets a pass, not an error.
+func HasRegressionIn(rows []DiffRow, metrics ...string) bool {
 	for _, r := range rows {
-		if r.Regression {
+		if !r.Regression {
+			continue
+		}
+		if len(metrics) == 0 {
 			return true
+		}
+		for _, m := range metrics {
+			if r.Metric == m {
+				return true
+			}
 		}
 	}
 	return false

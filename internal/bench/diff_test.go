@@ -95,6 +95,31 @@ func TestDiffReportsMissingSeries(t *testing.T) {
 	}
 }
 
+// HasRegressionIn restricts which metrics can fail the gate: a time
+// regression is invisible to an allocs-only gate, an allocs regression trips
+// it, and an empty selector means every metric counts.
+func TestHasRegressionInSelectsMetrics(t *testing.T) {
+	cur := baseRecords()
+	cur[0].Total *= 1.5 // time regression only
+	rows := Diff(baseRecords(), cur, DiffOptions{Threshold: 0.30})
+	if HasRegressionIn(rows, "allocs_per_op") {
+		t.Fatal("time regression tripped the allocs-only gate")
+	}
+	if !HasRegressionIn(rows) || !HasRegressionIn(rows, "total_seconds") {
+		t.Fatal("regression invisible to the all-metrics and named gates")
+	}
+
+	cur = baseRecords()
+	cur[1].AllocsPerOp *= 2 // allocs regression only
+	rows = Diff(baseRecords(), cur, DiffOptions{Threshold: 0.30})
+	if !HasRegressionIn(rows, "allocs_per_op") {
+		t.Fatal("allocs regression missed by the allocs gate")
+	}
+	if HasRegressionIn(rows, "ttf_seconds", "total_seconds", "delay_p99_seconds") {
+		t.Fatal("allocs regression tripped the time-metrics gate")
+	}
+}
+
 func TestPrintDiffMarksRegressions(t *testing.T) {
 	cur := baseRecords()
 	cur[0].TTF *= 10

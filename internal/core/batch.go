@@ -28,10 +28,20 @@ func newBatch[W any](g *dpgraph.Graph[W], sorted bool) *batchEnum[W] {
 	}
 	cur[0] = 0
 	serial := g.Serial
+	// The counting recurrence gives the output size exactly, so the state
+	// vectors of all solutions can live in one flat block, carved per row.
+	nrows := 0
+	if total := Count(g); total < 1<<32 {
+		nrows = int(total)
+	}
+	flat := make([]int32, 0, nrows*len(cur))
+	e.sols = make([]Solution[W], 0, nrows)
 	var rec func(j int, w W)
 	rec = func(j int, w W) {
 		if j == len(serial) {
-			states := append([]int32(nil), cur...)
+			off := len(flat)
+			flat = append(flat, cur...)
+			states := flat[off:len(flat):len(flat)]
 			states[0] = -1
 			e.sols = append(e.sols, Solution[W]{States: states, Weight: w})
 			return

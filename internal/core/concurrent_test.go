@@ -35,6 +35,7 @@ func TestInterleavedEnumeratorsIndependent(t *testing.T) {
 			if !ok {
 				t.Fatalf("enumerator %d exhausted early at %d", j, i)
 			}
+			s.States = append([]int32(nil), s.States...)
 			outs[j] = append(outs[j], s)
 		}
 	}

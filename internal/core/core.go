@@ -21,12 +21,17 @@ import (
 
 // Solution is one ranked answer: the chosen state per stage (-1 for the
 // artificial root slot and for pruned stages) and its weight.
+//
+// States may alias scratch owned by the enumerator and is only valid until
+// the next call to Next on the same enumerator; callers that retain it across
+// calls must copy it first. (Assemblers like graphIter read it immediately.)
 type Solution[W any] struct {
 	States []int32
 	Weight W
 }
 
-// Enumerator yields solutions in non-decreasing rank order.
+// Enumerator yields solutions in non-decreasing rank order. See Solution for
+// the lifetime of the returned States slice.
 type Enumerator[W any] interface {
 	Next() (Solution[W], bool)
 }

@@ -104,6 +104,8 @@ func drain(e Enumerator[float64], max int) []Solution[float64] {
 		if !ok {
 			break
 		}
+		// States is only valid until the next Next call; drain retains.
+		s.States = append([]int32(nil), s.States...)
 		out = append(out, s)
 	}
 	return out

@@ -35,6 +35,7 @@ func crossCheck[W any](t *testing.T, d dioid.Dioid[W], inputs []dpgraph.StageInp
 		if !ok {
 			break
 		}
+		s.States = append([]int32(nil), s.States...)
 		ref = append(ref, s)
 	}
 	for _, alg := range []Algorithm{Take2, Lazy, Eager, All, Recursive} {

@@ -34,8 +34,15 @@ type mergeSource[W any] struct {
 func (s *mergeSource[W]) head() *Row[W] { return &s.cur[s.pos] }
 
 // refill advances to the next block, marking the source done when its
-// producer has closed the channel.
-func (s *mergeSource[W]) refill() {
+// producer has closed the channel. The spent block is returned to the pool:
+// the consumer copies each Row struct out before advancing (and Row.Vals
+// points into assembler-owned arenas, never into the block), so producers can
+// safely overwrite recycled blocks.
+func (s *mergeSource[W]) refill(pool *sync.Pool) {
+	if s.cur != nil {
+		spent := s.cur[:0]
+		pool.Put(&spent)
+	}
 	b, ok := <-s.ch
 	if !ok {
 		s.cur, s.pos, s.done = nil, 0, true
@@ -59,6 +66,11 @@ func (s *mergeSource[W]) refill() {
 type ParallelMerge[W any] struct {
 	d       dioid.Dioid[W]
 	sources []*mergeSource[W]
+
+	// blockPool recycles spent row blocks (*[]Row[W]) from the consumer back
+	// to the producers, so a drained merge's steady state stops allocating
+	// block arrays.
+	blockPool sync.Pool
 
 	mu     sync.Mutex
 	lt     *loserTree
@@ -97,8 +109,14 @@ func (m *ParallelMerge[W]) produce(src *mergeSource[W], it RowIter[W]) {
 			src.stats.Store(&s)
 		}()
 	}
+	newBlock := func(size int) []Row[W] {
+		if p, ok := m.blockPool.Get().(*[]Row[W]); ok && cap(*p) >= size {
+			return (*p)[:0]
+		}
+		return make([]Row[W], 0, size)
+	}
 	size := 1
-	block := make([]Row[W], 0, size)
+	block := newBlock(size)
 	for {
 		r, ok := it.Next()
 		if !ok {
@@ -114,7 +132,7 @@ func (m *ParallelMerge[W]) produce(src *mergeSource[W], it RowIter[W]) {
 			if size < mergeBlockMax {
 				size *= 2
 			}
-			block = make([]Row[W], 0, size)
+			block = newBlock(size)
 		}
 	}
 	if len(block) > 0 {
@@ -155,7 +173,7 @@ func (m *ParallelMerge[W]) Next() (Row[W], bool) {
 		// The tournament needs every source's head; first blocks are a single
 		// row, so this waits only for each shard's first result.
 		for _, src := range m.sources {
-			src.refill()
+			src.refill(&m.blockPool)
 		}
 		m.lt = newLoserTree(len(m.sources), m.srcLess)
 		m.inited = true
@@ -168,7 +186,7 @@ func (m *ParallelMerge[W]) Next() (Row[W], bool) {
 	r := *src.head()
 	src.pos++
 	if src.pos == len(src.cur) {
-		src.refill()
+		src.refill(&m.blockPool)
 	}
 	m.lt.Fix()
 	return r, true

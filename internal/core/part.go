@@ -22,7 +22,12 @@ type partEnum[W any] struct {
 	groups [][]partGroup[W]
 
 	cand *heapq.Heap[cand[W]]
-	cur  []int32 // scratch: state per stage during expansion
+	cur  []int32 // scratch: state per stage during expansion; aliased by Next's Solution
+
+	// slab batches chain-node allocations. Nodes are immutable once linked
+	// and stay reachable through candidates in the queue, so the slab only
+	// amortizes allocation count — it never recycles memory.
+	slab []chain[W]
 
 	inserted int // Stats: total candidate insertions
 	maxQueue int // Stats: candidate queue high-water mark
@@ -99,7 +104,7 @@ func (e *partEnum[W]) Next() (Solution[W], bool) {
 		e.cur[i] = -1
 	}
 	if c.r < 0 { // degenerate all-pruned solution
-		return Solution[W]{States: append([]int32(nil), e.cur...), Weight: c.prio}, true
+		return Solution[W]{States: e.cur, Weight: c.prio}, true
 	}
 	e.cur[0] = 0
 	for ch := c.prefix; ch != nil; ch = ch.parent {
@@ -150,10 +155,21 @@ func (e *partEnum[W]) Next() (Solution[W], bool) {
 			}
 			accW = e.d.Times(prev, st.States[state].EffWeight)
 		}
-		link = &chain[W]{parent: link, stage: int32(si), state: state, accW: accW}
+		link = e.newChain(link, int32(si), state, accW)
 	}
 	e.cur[0] = -1 // root slot is artificial
-	return Solution[W]{States: append([]int32(nil), e.cur...), Weight: c.prio}, true
+	return Solution[W]{States: e.cur, Weight: c.prio}, true
+}
+
+// newChain carves a chain node out of the slab.
+func (e *partEnum[W]) newChain(parent *chain[W], stage, state int32, accW W) *chain[W] {
+	if len(e.slab) == 0 {
+		e.slab = make([]chain[W], 256)
+	}
+	n := &e.slab[0]
+	e.slab = e.slab[1:]
+	n.parent, n.stage, n.state, n.accW = parent, stage, state, accW
+	return n
 }
 
 // pushSibling inserts the candidate that deviates at serial position j from

@@ -85,7 +85,7 @@ func (e *recEnum[W]) Next() (Solution[W], bool) {
 	e.materialize(0, 0, int32(e.k))
 	e.k++
 	weight := e.d.Times(e.g.Stages[0].States[0].EffWeight, cost)
-	return Solution[W]{States: append([]int32(nil), e.cur...), Weight: weight}, true
+	return Solution[W]{States: e.cur, Weight: weight}, true
 }
 
 // stateSolCost returns the cost of state's rank-th subtree solution

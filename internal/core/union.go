@@ -20,11 +20,19 @@ type RowIter[W any] interface {
 }
 
 // graphIter adapts a graph enumerator into a RowIter by assembling rows.
+// Output values are carved out of an arena in row-sized full-capacity slices:
+// one allocation covers arenaRows rows, each row is still a distinct slice
+// that is never overwritten by later calls, so callers may hold a row across
+// Next without copying.
 type graphIter[W any] struct {
-	g    *dpgraph.Graph[W]
-	e    Enumerator[W]
-	tree int
+	g     *dpgraph.Graph[W]
+	e     Enumerator[W]
+	tree  int
+	arena []dpgraph.Value
 }
+
+// arenaRows is the number of output rows carved from one arena block.
+const arenaRows = 256
 
 // NewGraphIter wraps enumerator e over g, tagging rows with tree.
 func NewGraphIter[W any](g *dpgraph.Graph[W], e Enumerator[W], tree int) RowIter[W] {
@@ -36,7 +44,14 @@ func (it *graphIter[W]) Next() (Row[W], bool) {
 	if !ok {
 		return Row[W]{}, false
 	}
-	return Row[W]{Vals: it.g.AssembleRow(sol.States, nil), Weight: sol.Weight, Tree: it.tree}, true
+	n := len(it.g.OutVars)
+	if len(it.arena)+n > cap(it.arena) {
+		it.arena = make([]dpgraph.Value, 0, arenaRows*n)
+	}
+	off := len(it.arena)
+	it.arena = it.arena[:off+n]
+	row := it.g.AssembleRow(sol.States, it.arena[off:off+n:off+n])
+	return Row[W]{Vals: row, Weight: sol.Weight, Tree: it.tree}, true
 }
 
 // Stats passes through to the underlying enumerator so wrapping in a

@@ -14,7 +14,7 @@ func TestUniform(t *testing.T) {
 	if r.Size() != 1000 {
 		t.Fatalf("size = %d", r.Size())
 	}
-	for i, row := range r.Rows {
+	for i, row := range r.Rows() {
 		if row[0] < 0 || row[0] >= 100 || row[1] < 0 || row[1] >= 100 {
 			t.Fatalf("value outside N_{n/10}: %v", row)
 		}
@@ -24,7 +24,7 @@ func TestUniform(t *testing.T) {
 	}
 	// determinism
 	db2 := Uniform(4, 1000, 1)
-	if db2.Relation("R1").Rows[5][0] != r.Rows[5][0] {
+	if db2.Relation("R1").At(5, 0) != r.At(5, 0) {
 		t.Fatal("not deterministic for equal seeds")
 	}
 }
@@ -36,7 +36,7 @@ func TestWorstCaseCycle(t *testing.T) {
 		t.Fatalf("size = %d", r.Size())
 	}
 	zeros := 0
-	for _, row := range r.Rows {
+	for _, row := range r.Rows() {
 		if row[0] == 0 || row[1] == 0 {
 			zeros++
 		}
@@ -62,8 +62,8 @@ func TestI2Shape(t *testing.T) {
 			maxW, maxI = w, i
 		}
 	}
-	if r3.Rows[maxI][0] != 0 {
-		t.Fatalf("heaviest T tuple is %v, want c_0", r3.Rows[maxI])
+	if r3.At(maxI, 0) != 0 {
+		t.Fatalf("heaviest T tuple is %v, want c_0", r3.Row(maxI))
 	}
 	// lightest R tuple is r0 = (0,0)
 	minW, minI := math.Inf(1), -1
@@ -72,8 +72,8 @@ func TestI2Shape(t *testing.T) {
 			minW, minI = w, i
 		}
 	}
-	if r1.Rows[minI][0] != 0 || r1.Rows[minI][1] != 0 {
-		t.Fatalf("lightest R tuple is %v, want (0,0)", r1.Rows[minI])
+	if r1.At(minI, 0) != 0 || r1.At(minI, 1) != 0 {
+		t.Fatalf("lightest R tuple is %v, want (0,0)", r1.Row(minI))
 	}
 }
 

@@ -151,12 +151,18 @@ func orient(r *relation.Relation, a query.Atom, firstVar string) *cycleRel {
 		ids:     make([]int64, r.Size()),
 		isHeavy: make([]bool, r.Size()),
 	}
-	for i, row := range r.Rows {
-		if flip {
-			cr.rows[i] = []relation.Value{row[1], row[0]}
-		} else {
-			cr.rows[i] = row
-		}
+	c0, c1 := 0, 1
+	if flip {
+		c0, c1 = 1, 0
+	}
+	// One flat backing block for all oriented rows: two column reads per row
+	// off the relation's contiguous blocks, no per-row allocation.
+	flat := make([]relation.Value, 2*r.Size())
+	col0, col1 := r.Col(c0), r.Col(c1)
+	for i := 0; i < r.Size(); i++ {
+		row := flat[2*i : 2*i+2 : 2*i+2]
+		row[0], row[1] = col0[i], col1[i]
+		cr.rows[i] = row
 		cr.ids[i] = int64(i)
 	}
 	return cr

@@ -76,8 +76,8 @@ type rowW struct {
 
 func relRows(r *relation.Relation) []rowW {
 	out := make([]rowW, r.Size())
-	for i := range r.Rows {
-		out[i] = rowW{r.Rows[i], r.Weights[i]}
+	for i := range r.Rows() {
+		out[i] = rowW{r.Row(i), r.Weights[i]}
 	}
 	return out
 }

@@ -303,7 +303,7 @@ func keyAt(row []Value, cols []int) relation.Key {
 		return relation.MakeKey(nil)
 	}
 	if len(cols) == 1 {
-		return relation.MakeKey([]Value{row[cols[0]]})
+		return relation.Key1(row[cols[0]])
 	}
 	vals := make([]Value, len(cols))
 	for i, c := range cols {

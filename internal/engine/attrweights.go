@@ -34,8 +34,8 @@ func WithAttributeWeights(db *relation.DB, q *query.CQ, weights map[string]func(
 					continue
 				}
 				found = true
-				for _, row := range r.Rows {
-					dom[row[c]] = true
+				for _, val := range r.Col(c) {
+					dom[val] = true
 				}
 			}
 		}

@@ -60,7 +60,7 @@ func TestCacheInvalidationOnRowAdd(t *testing.T) {
 		opt := engine.Options{Parallelism: p, Cache: cache}
 		testkit.CollectOpt(t, db, q, dioid.Tropical{}, core.Take2, opt) // fill the cache
 		rel := db.Relation(q.Atoms[0].Rel)
-		rel.Add(0.25, rel.Rows[0]...) // a duplicate row with a new cheap weight
+		rel.Add(0.25, rel.Row(0)...) // a duplicate row with a new cheap weight
 		got := testkit.CollectOpt(t, db, q, dioid.Tropical{}, core.Take2, opt)
 		want := testkit.Collect(t, db, q, dioid.Tropical{}, core.Take2, 1)
 		testkit.CompareRanked(t, "after Add", dioid.Tropical{}, got, want)
@@ -76,9 +76,9 @@ func TestCacheInvalidationOnRelationReplace(t *testing.T) {
 	testkit.CollectOpt(t, db, q, dioid.Tropical{}, core.Take2, opt) // fill
 	old := db.Relation(q.Atoms[1].Rel)
 	repl := relation.New(old.Name, old.Attrs...)
-	for i := range old.Rows {
+	for i := range old.Rows() {
 		if i%2 == 0 {
-			repl.Add(old.Weights[i]+1, old.Rows[i]...)
+			repl.Add(old.Weights[i]+1, old.Row(i)...)
 		}
 	}
 	db2 := db.Clone()

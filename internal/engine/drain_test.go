@@ -152,7 +152,7 @@ func dedupDB() (*relation.DB, *query.CQ) {
 	db, q := drainDB()
 	r1 := db.Relation("R1")
 	for _, i := range []int{0, 1} {
-		r1.Add(r1.Weights[i], r1.Rows[i]...)
+		r1.Add(r1.Weights[i], r1.Row(i)...)
 	}
 	return db, q
 }

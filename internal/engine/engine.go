@@ -473,10 +473,9 @@ func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], min
 			// relation's cached hash index (one row per group) instead of
 			// rescanning and re-deduplicating all rows per session.
 			idx := rel.GroupIndex(cols)
-			in.Rows = make([][]relation.Value, len(idx.Groups))
+			in.Rows = flatProject(rel, cols, len(idx.Groups), func(g int) int { return idx.Groups[g][0] })
 			in.Weights = make([]W, len(idx.Groups))
-			for g, members := range idx.Groups {
-				in.Rows[g] = rel.Project(members[0], cols)
+			for g := range idx.Groups {
 				in.Weights[g] = d.One()
 			}
 		case minWeightQuery && !node.Prune:
@@ -484,27 +483,41 @@ func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], min
 			// over the group's members in row order (the same fold order the
 			// scan produced, so tie-breaking dioids agree).
 			idx := rel.GroupIndex(cols)
-			in.Rows = make([][]relation.Value, len(idx.Groups))
+			in.Rows = flatProject(rel, cols, len(idx.Groups), func(g int) int { return idx.Groups[g][0] })
 			in.Weights = make([]W, len(idx.Groups))
 			for g, members := range idx.Groups {
 				w := d.Lift(rel.Weights[members[0]], node.Atom, int64(members[0]))
 				for _, r := range members[1:] {
 					w = d.Plus(w, d.Lift(rel.Weights[r], node.Atom, int64(r)))
 				}
-				in.Rows[g] = rel.Project(members[0], cols)
 				in.Weights[g] = w
 			}
 		default:
-			in.Rows = make([][]relation.Value, rel.Size())
+			in.Rows = flatProject(rel, cols, rel.Size(), func(r int) int { return r })
 			in.Weights = make([]W, rel.Size())
-			for r := range rel.Rows {
-				in.Rows[r] = rel.Project(r, cols)
+			for r := 0; r < rel.Size(); r++ {
 				in.Weights[r] = d.Lift(rel.Weights[r], node.Atom, int64(r))
 			}
 		}
 		inputs[pos] = in
 	}
 	return inputs, nil
+}
+
+// flatProject materializes n projected rows of rel onto cols, row i sourced
+// from relation row src(i). All rows share one flat backing block (two
+// allocations total instead of one per row), read column-wise off the
+// relation's contiguous blocks.
+func flatProject(rel *relation.Relation, cols []int, n int, src func(int) int) [][]relation.Value {
+	a := len(cols)
+	flat := make([]relation.Value, n*a)
+	rows := make([][]relation.Value, n)
+	for i := 0; i < n; i++ {
+		row := flat[i*a : (i+1)*a : (i+1)*a]
+		rel.ProjectInto(row, src(i), cols)
+		rows[i] = row
+	}
+	return rows
 }
 
 func varList(vs []string) string {

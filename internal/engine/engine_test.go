@@ -200,15 +200,15 @@ func TestMinWeightProjectionExample19(t *testing.T) {
 	// Brute-force min-weight projection.
 	type row4 [4]relation.Value
 	best := map[row4]float64{}
-	for i1 := range e1.Rows {
-		for i2 := range e2.Rows {
-			for i3 := range e3.Rows {
-				for i4 := range e4.Rows {
-					if e1.Rows[i1][1] != e2.Rows[i2][0] || e3.Rows[i3][1] != e1.Rows[i1][0] || e4.Rows[i4][1] != e2.Rows[i2][1] {
+	for i1 := range e1.Rows() {
+		for i2 := range e2.Rows() {
+			for i3 := range e3.Rows() {
+				for i4 := range e4.Rows() {
+					if e1.At(i1, 1) != e2.At(i2, 0) || e3.At(i3, 1) != e1.At(i1, 0) || e4.At(i4, 1) != e2.At(i2, 1) {
 						continue
 					}
 					w := e1.Weights[i1] + e2.Weights[i2] + e3.Weights[i3] + e4.Weights[i4]
-					k := row4{e1.Rows[i1][0], e1.Rows[i1][1], e2.Rows[i2][1], e3.Rows[i3][2]}
+					k := row4{e1.At(i1, 0), e1.At(i1, 1), e2.At(i2, 1), e3.At(i3, 2)}
 					if old, ok := best[k]; !ok || w < old {
 						best[k] = w
 					}
@@ -350,7 +350,7 @@ func TestTieBreakWithOverlappingUnion(t *testing.T) {
 	for _, name := range []string{"R1", "R2"} {
 		rel := relation.New(name, "A", "B")
 		seen := map[[2]int64]bool{}
-		for len(rel.Rows) < 10 {
+		for rel.Size() < 10 {
 			row := [2]int64{int64(r.Intn(4)), int64(r.Intn(4))}
 			if seen[row] {
 				continue
@@ -400,9 +400,9 @@ func TestBottleneckRanking(t *testing.T) {
 	// brute force bottlenecks
 	r1, r2 := db.Relation("R1"), db.Relation("R2")
 	var want []float64
-	for i1 := range r1.Rows {
-		for i2 := range r2.Rows {
-			if r1.Rows[i1][1] != r2.Rows[i2][0] {
+	for i1 := range r1.Rows() {
+		for i2 := range r2.Rows() {
+			if r1.At(i1, 1) != r2.At(i2, 0) {
 				continue
 			}
 			w := r1.Weights[i1]

@@ -31,7 +31,7 @@ func bruteHoms(pattern []PatternEdge, target *relation.Relation) []float64 {
 		}
 	}
 	nodeSet := map[relation.Value]bool{}
-	for _, row := range target.Rows {
+	for _, row := range target.Rows() {
 		nodeSet[row[0]] = true
 		nodeSet[row[1]] = true
 	}
@@ -48,7 +48,7 @@ func bruteHoms(pattern []PatternEdge, target *relation.Relation) []float64 {
 			total := []float64{0}
 			for _, e := range pattern {
 				var ws []float64
-				for ri, row := range target.Rows {
+				for ri, row := range target.Rows() {
 					if row[0] == assign[e.From] && row[1] == assign[e.To] {
 						ws = append(ws, target.Weights[ri])
 					}

@@ -177,14 +177,16 @@ func containsInt(xs []int, x int) bool {
 // the set-semantics shape verification-only atoms take inside a bag join.
 func distinctRelation(name string, r *relation.Relation) *relation.Relation {
 	out := relation.New(name, r.Attrs...)
-	seen := map[relation.Key]bool{}
-	for i := range r.Rows {
-		k := relation.MakeKey(r.Rows[i])
+	seen := make(map[relation.Key]bool, r.Size())
+	buf := make([]relation.Value, r.Arity())
+	for i := 0; i < r.Size(); i++ {
+		buf = r.AppendRow(buf[:0], i)
+		k := relation.MakeKey(buf)
 		if seen[k] {
 			continue
 		}
 		seen[k] = true
-		out.Add(0, r.Rows[i]...)
+		out.Add(0, buf...) // TryAdd copies into column blocks, so buf is reusable
 	}
 	return out
 }

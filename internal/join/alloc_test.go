@@ -1,0 +1,46 @@
+package join
+
+import (
+	"testing"
+
+	"anyk/internal/relation"
+)
+
+// buildProbeRel returns a relation with n rows over (a, b, c) whose (a, b)
+// pairs repeat, so probes hit multi-row groups.
+func buildProbeRel(n int) *relation.Relation {
+	r := relation.New("R", "a", "b", "c")
+	for i := int64(0); i < int64(n); i++ {
+		r.Add(float64(i), i%17, i%5, i)
+	}
+	return r
+}
+
+// TestProbeLookupAllocs pins the hash-join probe loop's allocation discipline:
+// a lookup against the built index — single-column or multi-column — must not
+// allocate per probe (the encoded key lives in the index's scratch buffer and
+// the map lookup converts it without copying). The bound is ≤1 alloc per
+// probe to stay robust against incidental runtime allocations.
+func TestProbeLookupAllocs(t *testing.T) {
+	r := buildProbeRel(500)
+	vals := []relation.Value{3, 2, 40}
+	pos := []int{0, 1}
+
+	single := buildProbeIndex(r, []int{0})
+	multi := buildProbeIndex(r, []int{0, 1})
+
+	hits := 0
+	perProbe := testing.AllocsPerRun(1000, func() {
+		vals[0] = (vals[0] + 1) % 17
+		vals[1] = (vals[1] + 1) % 5
+		hits += len(single.lookup(vals, pos[:1]))
+		hits += len(multi.lookup(vals, pos))
+	})
+	if hits == 0 {
+		t.Fatal("probes never hit — the index is broken, not fast")
+	}
+	// Two lookups per run, so ≤1 alloc/probe means ≤2 per run.
+	if perProbe > 2 {
+		t.Fatalf("probe loop allocates %.1f per 2 lookups, want ≤2 (≤1 alloc/probe)", perProbe)
+	}
+}

@@ -58,10 +58,8 @@ func atomTrie(r *relation.Relation, order []int) *trie {
 	return r.Memo(sig, func() any {
 		root := newTrie(0)
 		buf := make([]relation.Value, len(order))
-		for rIdx, row := range r.Rows {
-			for d, c := range order {
-				buf[d] = row[c]
-			}
+		for rIdx := 0; rIdx < r.Size(); rIdx++ {
+			r.ProjectInto(buf, rIdx, order)
 			root.insert(buf, r.Weights[rIdx], rIdx)
 		}
 		return root

@@ -7,6 +7,68 @@ import (
 	"anyk/internal/relation"
 )
 
+// probeIndex is a hash index from an atom's shared-column key to the row ids
+// carrying it, pre-sized from the relation's cardinality. Single-column keys
+// hash the raw value; multi-column keys encode into a reused scratch buffer
+// so lookups allocate nothing (a key string is materialized only when a new
+// distinct key is inserted at build time).
+type probeIndex struct {
+	one     map[relation.Value][]int // single-column fast path
+	slot    map[string]int           // multi-column: encoded key -> slot in rows
+	rows    [][]int
+	scratch []byte
+}
+
+// buildProbeIndex indexes r on cols.
+func buildProbeIndex(r *relation.Relation, cols []int) *probeIndex {
+	n := r.Size()
+	pi := &probeIndex{}
+	if len(cols) == 1 {
+		pi.one = make(map[relation.Value][]int, n)
+		for i, v := range r.Col(cols[0]) {
+			pi.one[v] = append(pi.one[v], i)
+		}
+		return pi
+	}
+	pi.slot = make(map[string]int, n)
+	pi.scratch = make([]byte, 0, len(cols)*8)
+	for i := 0; i < n; i++ {
+		b := pi.scratch[:0]
+		for _, c := range cols {
+			b = relation.AppendKeyBytes(b, r.At(i, c))
+		}
+		pi.scratch = b
+		s, ok := pi.slot[string(b)]
+		if !ok {
+			s = len(pi.rows)
+			pi.slot[string(b)] = s
+			pi.rows = append(pi.rows, nil)
+		}
+		pi.rows[s] = append(pi.rows[s], i)
+	}
+	return pi
+}
+
+// lookup returns the row ids matching the probe key read from vals at
+// positions pos (aligned with the build columns). It performs no allocation:
+// the probe encodes into the index's scratch buffer and the map lookup goes
+// through the compiler's zero-copy string conversion.
+func (pi *probeIndex) lookup(vals []relation.Value, pos []int) []int {
+	if pi.one != nil {
+		return pi.one[vals[pos[0]]]
+	}
+	b := pi.scratch[:0]
+	for _, p := range pos {
+		b = relation.AppendKeyBytes(b, vals[p])
+	}
+	pi.scratch = b
+	s, ok := pi.slot[string(b)]
+	if !ok {
+		return nil
+	}
+	return pi.rows[s]
+}
+
 // HashJoinPlan evaluates a full CQ with a conventional left-deep pipeline of
 // binary hash joins in atom order, materializing every intermediate result —
 // the behaviour of a classical RDBMS executor. It stands in for PostgreSQL
@@ -36,42 +98,33 @@ func HashJoinPlan(db *relation.DB, q *query.CQ) ([]Result, error) {
 			shared[j] = bound[cols[j]]
 		}
 		if ai == 0 {
-			for i, row := range r.Rows {
+			cur = make([]inter, 0, r.Size())
+			for i := 0; i < r.Size(); i++ {
 				t := inter{vals: make([]relation.Value, len(vars)), w: r.Weights[i]}
 				for j, c := range cols {
-					t.vals[c] = row[j]
+					t.vals[c] = r.At(i, j)
 				}
 				cur = append(cur, t)
 			}
 		} else {
 			// Build hash on the atom's shared columns, probe intermediates.
-			idx := map[relation.Key][]int{}
 			var sharedAtomCols []int
 			for j := range a.Vars {
 				if shared[j] {
 					sharedAtomCols = append(sharedAtomCols, j)
 				}
 			}
-			keyOf := func(row []relation.Value) relation.Key {
-				ks := make([]relation.Value, len(sharedAtomCols))
-				for i, j := range sharedAtomCols {
-					ks[i] = row[j]
-				}
-				return relation.MakeKey(ks)
+			idx := buildProbeIndex(r, sharedAtomCols)
+			probePos := make([]int, len(sharedAtomCols))
+			for i, j := range sharedAtomCols {
+				probePos[i] = cols[j]
 			}
-			for i, row := range r.Rows {
-				idx[keyOf(row)] = append(idx[keyOf(row)], i)
-			}
-			var next []inter
-			probe := make([]relation.Value, len(sharedAtomCols))
+			next := make([]inter, 0, len(cur))
 			for _, t := range cur {
-				for i, j := range sharedAtomCols {
-					probe[i] = t.vals[cols[j]]
-				}
-				for _, ri := range idx[relation.MakeKey(probe)] {
+				for _, ri := range idx.lookup(t.vals, probePos) {
 					nt := inter{vals: append([]relation.Value(nil), t.vals...), w: t.w + r.Weights[ri]}
 					for j, c := range cols {
-						nt.vals[c] = r.Rows[ri][j]
+						nt.vals[c] = r.At(ri, j)
 					}
 					next = append(next, nt)
 				}
@@ -106,8 +159,7 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 	}
 	n := len(q.Atoms)
 	type node struct {
-		rows    [][]relation.Value
-		weights []float64
+		rel     *relation.Relation
 		keep    []bool
 		joinC   []int // columns joining with parent
 		parentC []int // parent columns for the same vars
@@ -118,7 +170,7 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		if r == nil {
 			return nil, fmt.Errorf("relation %s not found", a.Rel)
 		}
-		nd := &node{rows: r.Rows, weights: r.Weights, keep: make([]bool, r.Size())}
+		nd := &node{rel: r, keep: make([]bool, r.Size())}
 		for j := range nd.keep {
 			nd.keep[j] = true
 		}
@@ -130,12 +182,13 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		nodes[i] = nd
 	}
 	keySet := func(nd *node, cols []int) map[relation.Key]bool {
-		s := map[relation.Key]bool{}
-		for j, row := range nd.rows {
+		s := make(map[relation.Key]bool, nd.rel.Size())
+		buf := make([]relation.Value, len(cols))
+		for j := range nd.keep {
 			if !nd.keep[j] {
 				continue
 			}
-			s[keyOfCols(row, cols)] = true
+			s[rowKey(nd.rel, j, cols, buf)] = true
 		}
 		return s
 	}
@@ -148,8 +201,9 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		}
 		have := keySet(nodes[i], nodes[i].joinC)
 		pn := nodes[p]
-		for j, row := range pn.rows {
-			if pn.keep[j] && !have[keyOfCols(row, nodes[i].parentC)] {
+		buf := make([]relation.Value, len(nodes[i].parentC))
+		for j := range pn.keep {
+			if pn.keep[j] && !have[rowKey(pn.rel, j, nodes[i].parentC, buf)] {
 				pn.keep[j] = false
 			}
 		}
@@ -162,8 +216,9 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		}
 		have := keySet(nodes[p], nodes[i].parentC)
 		nd := nodes[i]
-		for j, row := range nd.rows {
-			if nd.keep[j] && !have[keyOfCols(row, nd.joinC)] {
+		buf := make([]relation.Value, len(nd.joinC))
+		for j := range nd.keep {
+			if nd.keep[j] && !have[rowKey(nd.rel, j, nd.joinC, buf)] {
 				nd.keep[j] = false
 			}
 		}
@@ -174,11 +229,12 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		if t.Parent[i] < 0 {
 			continue
 		}
-		m := map[relation.Key][]int{}
 		nd := nodes[i]
-		for j, row := range nd.rows {
+		m := make(map[relation.Key][]int, nd.rel.Size())
+		buf := make([]relation.Value, len(nd.joinC))
+		for j := range nd.keep {
 			if nd.keep[j] {
-				k := keyOfCols(row, nd.joinC)
+				k := rowKey(nd.rel, j, nd.joinC, buf)
 				m[k] = append(m[k], j)
 			}
 		}
@@ -186,6 +242,7 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 	}
 	assignment := make([]relation.Value, len(vars))
 	chosen := make([]int, n)
+	keyBuf := make([]relation.Value, len(vars))
 	var out []Result
 	var rec func(oi int, w float64)
 	rec = func(oi int, w float64) {
@@ -197,21 +254,21 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		nd := nodes[i]
 		var cands []int
 		if p := t.Parent[i]; p < 0 {
-			for j := range nd.rows {
+			for j := range nd.keep {
 				if nd.keep[j] {
 					cands = append(cands, j)
 				}
 			}
 		} else {
-			prow := nodes[t.Parent[i]].rows[chosen[t.Parent[i]]]
-			cands = idx[i][keyOfCols(prow, nd.parentC)]
+			p := t.Parent[i]
+			cands = idx[i][rowKey(nodes[p].rel, chosen[p], nd.parentC, keyBuf)]
 		}
 		for _, j := range cands {
 			chosen[i] = j
 			for c, v := range q.Atoms[i].Vars {
-				assignment[varPos[v]] = nd.rows[j][c]
+				assignment[varPos[v]] = nd.rel.At(j, c)
 			}
-			rec(oi+1, w+nd.weights[j])
+			rec(oi+1, w+nd.rel.Weights[j])
 		}
 	}
 	rec(0, 0)
@@ -231,10 +288,12 @@ func colsIn(vars []string, want []string) []int {
 	return cols
 }
 
-func keyOfCols(row []relation.Value, cols []int) relation.Key {
-	vals := make([]relation.Value, len(cols))
-	for i, c := range cols {
-		vals[i] = row[c]
+// rowKey encodes the projection of r's row onto cols as a map key, using the
+// single-column fast path when possible and a caller-owned scratch buffer
+// (len(cols) capacity) otherwise.
+func rowKey(r *relation.Relation, row int, cols []int, buf []relation.Value) relation.Key {
+	if len(cols) == 1 {
+		return relation.Key1(r.At(row, cols[0]))
 	}
-	return relation.MakeKey(vals)
+	return relation.MakeKey(r.ProjectInto(buf, row, cols))
 }

@@ -110,7 +110,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 			var next [][]int
 			for _, part := range leftParts {
 				headRel, headRow := p+1, part[0]
-				join := rels[headRel].Rows[headRow][leftCol[headRel]]
+				join := rels[headRel].At(headRow, leftCol[headRel])
 				for _, cand := range leftIdxLookupRight(rels, pools, p, rightCol[p], join) {
 					stats.JoinedPartial++
 					next = append(next, append([]int{cand}, part...))
@@ -127,7 +127,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 			var next [][]int
 			for _, part := range parts {
 				tailRow := part[len(part)-1]
-				join := rels[p-1].Rows[tailRow][rightCol[p-1]]
+				join := rels[p-1].At(tailRow, rightCol[p-1])
 				for _, cand := range leftIdx[p][join] {
 					stats.JoinedPartial++
 					next = append(next, append(append([]int(nil), part...), cand))
@@ -144,7 +144,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 			for ai, row := range part {
 				w += rels[ai].Weights[row]
 				for c, v := range q.Atoms[ai].Vars {
-					valsOut[varPos[v]] = rels[ai].Rows[row][c]
+					valsOut[varPos[v]] = rels[ai].At(row, c)
 				}
 			}
 			buf.Push(Result{Vals: valsOut, Weight: w})
@@ -163,7 +163,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 			// add to pool before joining so self-neighbour pools are correct
 			pools[i] = append(pools[i], ri)
 			if leftCol[i] >= 0 {
-				v := rels[i].Rows[ri][leftCol[i]]
+				v := rels[i].At(ri, leftCol[i])
 				leftIdx[i][v] = append(leftIdx[i][v], ri)
 			}
 			emitJoins(i, ri)
@@ -208,7 +208,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 func leftIdxLookupRight(rels []*relation.Relation, pools [][]int, p, col int, join relation.Value) []int {
 	var out []int
 	for _, ri := range pools[p] {
-		if rels[p].Rows[ri][col] == join {
+		if rels[p].At(ri, col) == join {
 			out = append(out, ri)
 		}
 	}

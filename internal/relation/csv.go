@@ -351,9 +351,9 @@ func loadTypedRows(dict *Dictionary, name string, attrs []string, rows []csvRow)
 func WriteCSV(w io.Writer, r *Relation) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# %s(%s), last column = weight\n", r.Name, strings.Join(r.Attrs, ","))
-	for i, row := range r.Rows {
-		for c, v := range row {
-			switch lv := r.Dict.Decode(r.ColType(c), v).(type) {
+	for i := 0; i < r.Size(); i++ {
+		for c := 0; c < r.Arity(); c++ {
+			switch lv := r.Dict.Decode(r.ColType(c), r.At(i, c)).(type) {
 			case float64:
 				fmt.Fprintf(bw, "%g,", lv)
 			case string:

@@ -16,7 +16,7 @@ func TestLoadCSV(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Size() != 3 || r.Rows[2][0] != 7 || r.Weights[1] != 1.25 {
+	if r.Size() != 3 || r.At(2, 0) != 7 || r.Weights[1] != 1.25 {
 		t.Fatalf("parsed: %+v", r)
 	}
 }
@@ -27,7 +27,7 @@ func TestLoadCSVWhitespace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.Size() != 2 || r.Rows[1][1] != 4 || r.Weights[0] != 0.5 {
+	if r.Size() != 2 || r.At(1, 1) != 4 || r.Weights[0] != 0.5 {
 		t.Fatalf("parsed: %+v", r)
 	}
 }
@@ -107,7 +107,7 @@ func TestLoadCSVAuto(t *testing.T) {
 	if len(r.Attrs) != 3 || r.Attrs[0] != "A1" || r.Attrs[2] != "A3" {
 		t.Fatalf("inferred attrs %v", r.Attrs)
 	}
-	if r.Size() != 2 || r.Rows[1][2] != 5 || r.Weights[0] != 0.5 {
+	if r.Size() != 2 || r.At(1, 2) != 5 || r.Weights[0] != 0.5 {
 		t.Fatalf("parsed: %+v", r)
 	}
 }
@@ -153,7 +153,7 @@ func TestCSVRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Size() != 2 || got.Rows[1][0] != -4 || got.Weights[0] != 0.5 {
+	if got.Size() != 2 || got.At(1, 0) != -4 || got.Weights[0] != 0.5 {
 		t.Fatalf("round trip: %+v", got)
 	}
 }

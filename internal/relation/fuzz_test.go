@@ -48,10 +48,12 @@ func checkLoaded(t *testing.T, rel *Relation) {
 	if rel == nil {
 		t.Fatal("nil relation without error")
 	}
-	if len(rel.Rows) != len(rel.Weights) {
-		t.Fatalf("%d rows but %d weights", len(rel.Rows), len(rel.Weights))
+	for c := 0; c < rel.Arity(); c++ {
+		if len(rel.Col(c)) != len(rel.Weights) {
+			t.Fatalf("column %d has %d values but %d weights", c, len(rel.Col(c)), len(rel.Weights))
+		}
 	}
-	for i, row := range rel.Rows {
+	for i, row := range rel.Rows() {
 		if len(row) != len(rel.Attrs) {
 			t.Fatalf("row %d has %d values, schema has %d attrs", i, len(row), len(rel.Attrs))
 		}
@@ -90,7 +92,7 @@ func FuzzLoadCSVTyped(f *testing.F) {
 		if len(rel.Types) != len(rel.Attrs) {
 			t.Fatalf("%d column types for %d attrs", len(rel.Types), len(rel.Attrs))
 		}
-		for i, row := range rel.Rows {
+		for i, row := range rel.Rows() {
 			for c, v := range row {
 				switch rel.ColType(c) {
 				case TypeFloat64:

@@ -1,0 +1,128 @@
+package relation
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemoPanickingBuilderRetried: a builder panic must not poison the memo
+// slot — the panic propagates to the caller, the entry is removed, and a
+// retry with a working builder computes and caches the value.
+func TestMemoPanickingBuilderRetried(t *testing.T) {
+	r := New("R", "a")
+	r.Add(1, 7)
+
+	calls := 0
+	build := func() any {
+		calls++
+		if calls == 1 {
+			panic("boom")
+		}
+		return "ok"
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("first Memo call did not propagate the builder panic")
+			}
+		}()
+		r.Memo("k", build)
+	}()
+
+	if got := r.Memo("k", build); got != "ok" {
+		t.Fatalf("retry returned %v, want ok", got)
+	}
+	if calls != 2 {
+		t.Fatalf("builder ran %d times, want 2 (panicked once, retried once)", calls)
+	}
+	// The retried value is cached: a third call must not rebuild.
+	if got := r.Memo("k", build); got != "ok" || calls != 2 {
+		t.Fatalf("cached lookup rebuilt: got %v, %d calls", got, calls)
+	}
+}
+
+// TestMemoPanicWakesConcurrentWaiters: goroutines waiting on an in-flight
+// build whose builder panics must not deadlock — they retry, and exactly one
+// of them recomputes the value.
+func TestMemoPanicWakesConcurrentWaiters(t *testing.T) {
+	r := New("R", "a")
+	r.Add(1, 7)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var rebuilds sync.Map
+	first := true
+	build := func() any {
+		if first {
+			first = false
+			close(started)
+			<-release
+			panic("boom")
+		}
+		rebuilds.Store("built", true)
+		return 42
+	}
+
+	go func() {
+		defer func() { recover() }()
+		r.Memo("k", build)
+	}()
+	<-started
+
+	const waiters = 4
+	var wg sync.WaitGroup
+	got := make([]any, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = r.Memo("k", build)
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	for i, v := range got {
+		if v != 42 {
+			t.Fatalf("waiter %d got %v, want 42", i, v)
+		}
+	}
+	if _, ok := rebuilds.Load("built"); !ok {
+		t.Fatal("no waiter rebuilt the value after the panic")
+	}
+}
+
+// TestSizeBytesExact pins SizeBytes against a hand-computed byte count of the
+// columnar layout: 8 bytes per weight and per column cell (at capacity, not
+// length), plus one 24-byte slice header per column.
+func TestSizeBytesExact(t *testing.T) {
+	r := New("R", "a", "b", "c")
+	for i := int64(0); i < 5; i++ {
+		r.Add(float64(i), i, i*10, i*100)
+	}
+	want := int64(cap(r.Weights)) * 8 // weights
+	want += 3 * 24                    // one slice header per column
+	for c := 0; c < 3; c++ {
+		want += int64(cap(r.Col(c))) * 8
+	}
+	if got := r.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes = %d, hand-computed %d", got, want)
+	}
+	// The accounting tracks capacities, so it stays exact after growth.
+	for i := int64(5); i < 40; i++ {
+		r.Add(float64(i), i, i*10, i*100)
+	}
+	want = int64(cap(r.Weights)) * 8
+	want += 3 * 24
+	for c := 0; c < 3; c++ {
+		want += int64(cap(r.Col(c))) * 8
+	}
+	if got := r.SizeBytes(); got != want {
+		t.Fatalf("SizeBytes after growth = %d, hand-computed %d", got, want)
+	}
+	// Empty relation: headers only, no cells.
+	e := New("E", "x")
+	if got := e.SizeBytes(); got != 24 {
+		t.Fatalf("empty SizeBytes = %d, want 24 (one column header)", got)
+	}
+}

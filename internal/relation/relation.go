@@ -25,9 +25,12 @@ var stampCounter atomic.Uint64
 // out before it.
 func nextStamp() uint64 { return stampCounter.Add(1) }
 
-// Relation is a named, weighted relation. Row i has values Rows[i] (arity =
-// len(Attrs)) and input weight Weights[i]. Relations are bags: duplicate rows
-// are allowed.
+// Relation is a named, weighted relation stored column-major: column c of row
+// i lives at cols[c][i], one contiguous []int64 block per column, addressed
+// by row-id. Row i has input weight Weights[i]. Relations are bags: duplicate
+// rows are allowed. Row-shaped access (Row, AppendRow, Project) assembles
+// values out of the column blocks on demand; hot paths read columns directly
+// via At/Col.
 //
 // A relation lazily accretes derived read-only structures — hash indexes
 // (GroupIndex) and arbitrary memos (Memo) — that are invalidated wholesale
@@ -38,7 +41,6 @@ func nextStamp() uint64 { return stampCounter.Add(1) }
 type Relation struct {
 	Name    string
 	Attrs   []string
-	Rows    [][]Value
 	Weights []float64
 
 	// Types is the logical column schema: Types[i] says what the physical
@@ -52,6 +54,9 @@ type Relation struct {
 	// dictionary.
 	Dict *Dictionary
 
+	// cols[c][i] is column c of row i: the columnar storage proper.
+	cols [][]Value
+
 	version atomic.Uint64
 
 	memoMu      sync.Mutex
@@ -60,17 +65,18 @@ type Relation struct {
 }
 
 // memoEntry is one derived structure, possibly still being built: done is
-// closed once val is set, so waiters on an in-flight build block on the
-// channel instead of on the relation-wide memo lock.
+// closed once val (or panicked) is set, so waiters on an in-flight build
+// block on the channel instead of on the relation-wide memo lock.
 type memoEntry struct {
-	done chan struct{}
-	val  any
+	done     chan struct{}
+	val      any
+	panicked bool
 }
 
 // New returns an empty relation with the given schema; every column is a
 // plain int64. Use NewTyped for dictionary-encoded logical schemas.
 func New(name string, attrs ...string) *Relation {
-	r := &Relation{Name: name, Attrs: attrs}
+	r := &Relation{Name: name, Attrs: attrs, cols: make([][]Value, len(attrs))}
 	r.version.Store(nextStamp())
 	return r
 }
@@ -160,12 +166,12 @@ func (r *Relation) Reencode(dict *Dictionary) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, row := range r.Rows {
-		vals := make([]Value, len(row))
-		for c, v := range row {
+	vals := make([]Value, r.Arity())
+	for i := 0; i < r.Size(); i++ {
+		for c := range vals {
 			t := r.ColType(c)
 			var encodeErr error
-			vals[c], encodeErr = dict.Encode(t, r.Dict.Decode(t, v))
+			vals[c], encodeErr = dict.Encode(t, r.Dict.Decode(t, r.cols[c][i]))
 			if encodeErr != nil {
 				return nil, fmt.Errorf("relation %s row %d col %d: %w", r.Name, i, c+1, encodeErr)
 			}
@@ -178,22 +184,25 @@ func (r *Relation) Reencode(dict *Dictionary) (*Relation, error) {
 }
 
 // Version returns the relation's mutation stamp: it strictly increases every
-// time a row is added, and two relations never share a stamp, so (pointer
-// aside) the stamp identifies both the relation and its current contents.
+// time a row is added or updated, and two relations never share a stamp, so
+// (pointer aside) the stamp identifies both the relation and its current
+// contents.
 func (r *Relation) Version() uint64 { return r.version.Load() }
 
 // TryAdd appends a row with a weight and returns its index, rejecting arity
-// mismatches with an error. Data-ingest paths (CSV loading, uploads) use it
-// so malformed input surfaces as a client error instead of crashing the
-// process.
+// mismatches with an error. The values are copied into the column blocks, so
+// callers may reuse vals. Data-ingest paths (CSV loading, uploads) use it so
+// malformed input surfaces as a client error instead of crashing the process.
 func (r *Relation) TryAdd(w float64, vals ...Value) (int, error) {
 	if len(vals) != len(r.Attrs) {
 		return -1, fmt.Errorf("relation %s: row arity %d != schema arity %d", r.Name, len(vals), len(r.Attrs))
 	}
-	r.Rows = append(r.Rows, vals)
+	for c, v := range vals {
+		r.cols[c] = append(r.cols[c], v)
+	}
 	r.Weights = append(r.Weights, w)
 	r.version.Store(nextStamp())
-	return len(r.Rows) - 1, nil
+	return len(r.Weights) - 1, nil
 }
 
 // Add appends a row with a weight and returns its index. It panics on arity
@@ -208,15 +217,70 @@ func (r *Relation) Add(w float64, vals ...Value) int {
 }
 
 // Size returns the number of rows.
-func (r *Relation) Size() int { return len(r.Rows) }
+func (r *Relation) Size() int { return len(r.Weights) }
 
-// SizeBytes estimates the relation's resident heap size: per-row slice
-// headers plus int64 values plus weights. Indexes and memoized artifacts are
-// not counted — this is the admission-control-facing "how big is the raw
-// data" figure, deliberately cheap enough to call at metrics-scrape time.
+// At returns column col of row i.
+func (r *Relation) At(i, col int) Value { return r.cols[col][i] }
+
+// SetAt overwrites column col of row i in place, restamping the version so
+// derived indexes and plan caches are invalidated.
+func (r *Relation) SetAt(i, col int, v Value) {
+	r.cols[col][i] = v
+	r.version.Store(nextStamp())
+}
+
+// Col returns column c's contiguous value block, aligned with row ids.
+// Callers must treat it as read-only; it is live storage, not a copy.
+func (r *Relation) Col(c int) []Value { return r.cols[c] }
+
+// Row assembles row i into a fresh slice. It is the row-shaped compatibility
+// view over the columnar storage — fine for cold paths and tests; hot loops
+// should read columns via At/Col or reuse a buffer with AppendRow.
+func (r *Relation) Row(i int) []Value {
+	return r.AppendRow(make([]Value, 0, len(r.cols)), i)
+}
+
+// AppendRow appends row i's values to dst and returns it, allocating nothing
+// when dst has capacity.
+func (r *Relation) AppendRow(dst []Value, i int) []Value {
+	for _, col := range r.cols {
+		dst = append(dst, col[i])
+	}
+	return dst
+}
+
+// Rows materializes every row as a slice view. The returned rows share one
+// flat backing block (row-major), so the whole view costs two allocations; it
+// is a snapshot, not live storage. Kept as the thin compatibility surface for
+// row-oriented consumers — hot paths read columns instead.
+func (r *Relation) Rows() [][]Value {
+	n, a := r.Size(), r.Arity()
+	flat := make([]Value, n*a)
+	rows := make([][]Value, n)
+	for i := 0; i < n; i++ {
+		row := flat[i*a : (i+1)*a : (i+1)*a]
+		for c, col := range r.cols {
+			row[c] = col[i]
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+// SizeBytes reports the relation's resident heap size exactly against the
+// columnar layout: the capacity of every column block and of the weights
+// block (8 B per value), plus the column-table backing array (one slice
+// header per column). Indexes and memoized artifacts are not counted — this
+// is the admission-control-facing "how big is the raw data" figure,
+// deliberately cheap enough to call at metrics-scrape time.
 func (r *Relation) SizeBytes() int64 {
 	const sliceHeader = 24
-	return int64(len(r.Rows))*(sliceHeader+int64(r.Arity())*8) + int64(len(r.Weights))*8
+	n := int64(cap(r.Weights)) * 8
+	n += int64(cap(r.cols)) * sliceHeader
+	for _, col := range r.cols {
+		n += int64(cap(col)) * 8
+	}
+	return n
 }
 
 // Arity returns the number of attributes.
@@ -234,11 +298,18 @@ func (r *Relation) AttrIndex(attr string) int {
 
 // Project returns the values of row at the given column positions.
 func (r *Relation) Project(row int, cols []int) []Value {
-	out := make([]Value, len(cols))
+	return r.ProjectInto(make([]Value, len(cols)), row, cols)
+}
+
+// ProjectInto writes the values of row at the given column positions into
+// dst (which must have len(cols) capacity) and returns it. The zero-alloc
+// twin of Project for scratch-buffer reuse in build loops.
+func (r *Relation) ProjectInto(dst []Value, row int, cols []int) []Value {
+	dst = dst[:len(cols)]
 	for i, c := range cols {
-		out[i] = r.Rows[row][c]
+		dst[i] = r.cols[c][row]
 	}
-	return out
+	return dst
 }
 
 // Memo returns the derived structure cached under key, building it with
@@ -248,23 +319,46 @@ func (r *Relation) Project(row int, cols []int) []Value {
 // everyone else shares its result, but the build itself runs outside the
 // memo lock, so an expensive build (a large join trie, say) never blocks
 // lookups or builds of other keys on the same relation.
+//
+// A panicking build propagates to its own caller and removes the in-flight
+// entry, so concurrent waiters (and later calls) retry the build instead of
+// observing a poisoned nil value.
 func (r *Relation) Memo(key string, build func() any) any {
-	r.memoMu.Lock()
-	if v := r.version.Load(); r.memo == nil || r.memoVersion != v {
-		r.memo = map[string]*memoEntry{}
-		r.memoVersion = v
-	}
-	if e, ok := r.memo[key]; ok {
+	for {
+		r.memoMu.Lock()
+		if v := r.version.Load(); r.memo == nil || r.memoVersion != v {
+			r.memo = map[string]*memoEntry{}
+			r.memoVersion = v
+		}
+		if e, ok := r.memo[key]; ok {
+			r.memoMu.Unlock()
+			<-e.done // val/panicked are written before done is closed
+			if e.panicked {
+				continue // the builder panicked; retry with a fresh entry
+			}
+			return e.val
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		r.memo[key] = e
 		r.memoMu.Unlock()
-		<-e.done // val is written before done is closed
+		defer func() {
+			if e.panicked {
+				// Drop the poisoned entry (unless the table was already reset
+				// by a mutation) so the next call re-runs the build, then let
+				// the panic propagate to this builder's caller.
+				r.memoMu.Lock()
+				if r.memo[key] == e {
+					delete(r.memo, key)
+				}
+				r.memoMu.Unlock()
+			}
+			close(e.done) // release waiters even if build panicked
+		}()
+		e.panicked = true // cleared on successful build; set if build panics
+		e.val = build()
+		e.panicked = false
 		return e.val
 	}
-	e := &memoEntry{done: make(chan struct{})}
-	r.memo[key] = e
-	r.memoMu.Unlock()
-	defer close(e.done) // release waiters even if build panics
-	e.val = build()
-	return e.val
 }
 
 // Index is a hash index over the projection of a relation onto a column
@@ -413,30 +507,74 @@ type Key struct {
 	n      int
 }
 
+// Key1 builds the Key of a single value without touching a slice — the
+// zero-alloc fast path for single-column join keys.
+func Key1(v Value) Key { return Key{single: v, n: 1} }
+
 // MakeKey builds a Key from vals.
 func MakeKey(vals []Value) Key {
 	if len(vals) == 1 {
-		return Key{single: vals[0], n: 1}
+		return Key1(vals[0])
 	}
 	b := make([]byte, 0, len(vals)*8)
 	for _, v := range vals {
-		u := uint64(v)
-		b = append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
-			byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		b = AppendKeyBytes(b, v)
 	}
 	return Key{multi: string(b), n: len(vals)}
 }
 
+// AppendKeyBytes appends the 8-byte key encoding of v to dst and returns it —
+// the scratch-buffer building block for multi-column keys: encode a probe
+// into a reused []byte and look it up with m[string(buf)] on a map[string]V,
+// which the compiler performs without materializing a string. Only inserting
+// a new key needs a real string allocation.
+func AppendKeyBytes(dst []byte, v Value) []byte {
+	u := uint64(v)
+	return append(dst, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// keyFromBytes wraps an encoded multi-column key (see AppendKeyBytes) in a
+// Key, copying b into an owned string.
+func keyFromBytes(b []byte, n int) Key {
+	return Key{multi: string(b), n: n}
+}
+
 // GroupBy partitions row indices of r by the projection onto cols, preserving
 // first-seen group order. Linear time, the "data structure built in linear
-// time supporting constant-time lookups" of Section 2.3.
+// time supporting constant-time lookups" of Section 2.3. The group map is
+// pre-sized from the relation's cardinality, single-column keys read the
+// column block directly, and multi-column keys encode into a reused scratch
+// buffer (one string allocation per distinct group, not per row).
 func GroupBy(r *Relation, cols []int) (keys []Key, groups [][]int, index map[Key]int) {
-	index = make(map[Key]int, r.Size())
-	for i := range r.Rows {
-		k := MakeKey(r.Project(i, cols))
-		g, ok := index[k]
+	n := r.Size()
+	index = make(map[Key]int, n)
+	if len(cols) == 1 {
+		for i, v := range r.cols[cols[0]] {
+			k := Key1(v)
+			g, ok := index[k]
+			if !ok {
+				g = len(groups)
+				index[k] = g
+				keys = append(keys, k)
+				groups = append(groups, nil)
+			}
+			groups[g] = append(groups[g], i)
+		}
+		return keys, groups, index
+	}
+	byEnc := make(map[string]int, n)
+	scratch := make([]byte, 0, len(cols)*8)
+	for i := 0; i < n; i++ {
+		scratch = scratch[:0]
+		for _, c := range cols {
+			scratch = AppendKeyBytes(scratch, r.cols[c][i])
+		}
+		g, ok := byEnc[string(scratch)] // zero-alloc lookup
 		if !ok {
+			k := keyFromBytes(scratch, len(cols))
 			g = len(groups)
+			byEnc[k.multi] = g
 			index[k] = g
 			keys = append(keys, k)
 			groups = append(groups, nil)

@@ -73,16 +73,16 @@ func TestLoadCSVTypedMixedColumns(t *testing.T) {
 		t.Fatal("typed relation reports no encoded columns")
 	}
 	// Codes are dense in first-appearance order; row 2 reuses row 0's codes.
-	if r.Rows[0][0] != 0 || r.Rows[1][0] != 1 || r.Rows[2][0] != 0 {
-		t.Fatalf("string codes %v %v %v, want 0 1 0", r.Rows[0][0], r.Rows[1][0], r.Rows[2][0])
+	if r.At(0, 0) != 0 || r.At(1, 0) != 1 || r.At(2, 0) != 0 {
+		t.Fatalf("string codes %v %v %v, want 0 1 0", r.At(0, 0), r.At(1, 0), r.At(2, 0))
 	}
-	if r.Rows[0][2] != r.Rows[2][2] {
-		t.Fatalf("equal floats got different codes %v vs %v", r.Rows[0][2], r.Rows[2][2])
+	if r.At(0, 2) != r.At(2, 2) {
+		t.Fatalf("equal floats got different codes %v vs %v", r.At(0, 2), r.At(2, 2))
 	}
-	if r.Rows[0][1] != 1 || r.Rows[2][1] != 3 {
-		t.Fatalf("int64 columns must carry raw values, got %v / %v", r.Rows[0][1], r.Rows[2][1])
+	if r.At(0, 1) != 1 || r.At(2, 1) != 3 {
+		t.Fatalf("int64 columns must carry raw values, got %v / %v", r.At(0, 1), r.At(2, 1))
 	}
-	got := r.DecodeRow(r.Rows[1])
+	got := r.DecodeRow(r.Row(1))
 	if got[0] != "bob" || got[1] != int64(2) || got[2] != 0.75 {
 		t.Fatalf("DecodeRow = %v", got)
 	}
@@ -105,7 +105,7 @@ func TestLoadCSVTypedWidensAcrossRows(t *testing.T) {
 	}
 	want := []string{"1", "2.5", "alice"}
 	for i, w := range want {
-		if got := r.DecodeRow(r.Rows[i])[0]; got != w {
+		if got := r.DecodeRow(r.Row(i))[0]; got != w {
 			t.Fatalf("row %d decodes to %v, want %q", i, got, w)
 		}
 	}
@@ -120,7 +120,7 @@ func TestLoadCSVTypedAllowsSpacesInStrings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := r.DecodeRow(r.Rows[0])[0]; got != "New York" {
+	if got := r.DecodeRow(r.Row(0))[0]; got != "New York" {
 		t.Fatalf("decoded %v, want %q", got, "New York")
 	}
 	// The numeric loaders keep rejecting it as a likely mixed separator.
@@ -143,10 +143,10 @@ func TestLoadCSVTypedHugeIntsDoNotRoundIntoFloats(t *testing.T) {
 	if r.ColType(0) != TypeString {
 		t.Fatalf("col type %s, want string (floats cannot hold 2^53+1 exactly)", r.ColType(0))
 	}
-	if r.Rows[0][0] == r.Rows[1][0] {
+	if r.At(0, 0) == r.At(1, 0) {
 		t.Fatal("distinct huge integers merged into one code")
 	}
-	if got := r.DecodeRow(r.Rows[0])[0]; got != "9007199254740993" {
+	if got := r.DecodeRow(r.Row(0))[0]; got != "9007199254740993" {
 		t.Fatalf("decoded %v, want the exact digits back", got)
 	}
 	// Integers past int64 range are integer literals too: they must sniff as
@@ -159,7 +159,7 @@ func TestLoadCSVTypedHugeIntsDoNotRoundIntoFloats(t *testing.T) {
 	if r2.ColType(0) != TypeString {
 		t.Fatalf("past-int64 column type %s, want string", r2.ColType(0))
 	}
-	if r2.Rows[0][0] == r2.Rows[1][0] {
+	if r2.At(0, 0) == r2.At(1, 0) {
 		t.Fatal("distinct past-int64 integers merged into one code")
 	}
 	// The programmatic float path rejects them outright.
@@ -194,10 +194,10 @@ func TestLoadCSVTypedInt64Passthrough(t *testing.T) {
 	if ns, nf := dict.Len(); ns != 0 || nf != 0 {
 		t.Fatalf("all-int64 data interned %d strings, %d floats", ns, nf)
 	}
-	for i := range plain.Rows {
-		for c := range plain.Rows[i] {
-			if typed.Rows[i][c] != plain.Rows[i][c] {
-				t.Fatalf("row %d col %d: typed %v != plain %v", i, c, typed.Rows[i][c], plain.Rows[i][c])
+	for i := range plain.Rows() {
+		for c := range plain.Row(i) {
+			if typed.At(i, c) != plain.At(i, c) {
+				t.Fatalf("row %d col %d: typed %v != plain %v", i, c, typed.At(i, c), plain.At(i, c))
 			}
 		}
 	}
@@ -214,8 +214,8 @@ func TestLoadCSVAutoTyped(t *testing.T) {
 	}
 	// "bob" appears in both columns and must share one code: one dictionary
 	// per database is what keeps equality joins sound.
-	if r.Rows[0][1] != r.Rows[1][0] {
-		t.Fatalf("same string in different columns got codes %v vs %v", r.Rows[0][1], r.Rows[1][0])
+	if r.At(0, 1) != r.At(1, 0) {
+		t.Fatalf("same string in different columns got codes %v vs %v", r.At(0, 1), r.At(1, 0))
 	}
 }
 
@@ -250,11 +250,11 @@ func TestAddTypedAndReencode(t *testing.T) {
 	if nr.Dict != d2 {
 		t.Fatal("reencoded relation does not reference the new dictionary")
 	}
-	if nr.Rows[0][0] != 0 { // d2 is fresh: "alice" is its first string
-		t.Fatalf("reencoded code %v, want 0", nr.Rows[0][0])
+	if nr.At(0, 0) != 0 { // d2 is fresh: "alice" is its first string
+		t.Fatalf("reencoded code %v, want 0", nr.At(0, 0))
 	}
-	for i := range r.Rows {
-		got, want := nr.DecodeRow(nr.Rows[i]), r.DecodeRow(r.Rows[i])
+	for i := range r.Rows() {
+		got, want := nr.DecodeRow(nr.Row(i)), r.DecodeRow(r.Row(i))
 		for c := range got {
 			if got[c] != want[c] {
 				t.Fatalf("row %d col %d: reencoded %v != original %v", i, c, got[c], want[c])
@@ -299,7 +299,7 @@ func TestWriteCSVTypedRoundTrip(t *testing.T) {
 	if got.Size() != 2 || got.Weights[0] != 0.5 {
 		t.Fatalf("round trip: %+v", got)
 	}
-	row := got.DecodeRow(got.Rows[1])
+	row := got.DecodeRow(got.Row(1))
 	if row[0] != "bob" || row[1] != -4.5 {
 		t.Fatalf("round-tripped row %v", row)
 	}

@@ -49,6 +49,15 @@ const maxPageK = 100_000
 // maxUploadBytes caps CSV upload bodies.
 const maxUploadBytes = 256 << 20
 
+// wirePagePool recycles []WireRow page buffers across handleNext calls. A
+// buffer is borrowed for the duration of one request and returned only after
+// writeJSON has fully encoded the response, so nothing aliases it once pooled;
+// elements are cleared on return so pooled pages do not pin row values.
+var wirePagePool = sync.Pool{New: func() any {
+	p := make([]WireRow, 0, 64)
+	return &p
+}}
+
 // defaultMaxParallelism is the per-session parallelism cap when the Server
 // does not set one: high enough for a single heavy session to use a modern
 // machine, low enough that a handful of concurrent sessions cannot pile up
@@ -794,7 +803,8 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.Mu.Lock()
 	typed := sess.It.Typed()
-	resp := NextResponse{ID: sess.ID, Rows: []WireRow{}}
+	page := wirePagePool.Get().(*[]WireRow)
+	resp := NextResponse{ID: sess.ID, Rows: (*page)[:0]}
 	for len(resp.Rows) < k && !sess.IsDone() {
 		// Stop between rows if the client went away or the session was
 		// evicted/shut down mid-page.
@@ -839,6 +849,9 @@ func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	sess.Mu.Unlock()
 	s.rowsServed.Add(int64(len(resp.Rows)))
 	writeJSON(w, http.StatusOK, resp)
+	clear(resp.Rows)
+	*page = resp.Rows[:0]
+	wirePagePool.Put(page)
 }
 
 // handleSessionStats reports one session's observability snapshot: the phase

@@ -105,8 +105,8 @@ func TestDifferentialEmptyOutput(t *testing.T) {
 		db := RandomDB(r, q, 5, 1)
 		for i, name := range db.Names() {
 			rel := db.Relation(name)
-			for j := range rel.Rows {
-				rel.Rows[j][0] = int64(100 * (i + 1))
+			for j := 0; j < rel.Size(); j++ {
+				rel.SetAt(j, 0, int64(100*(i+1)))
 			}
 		}
 		Diff(t, db, q, dioid.Tropical{}, 1, 4)

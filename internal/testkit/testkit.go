@@ -245,7 +245,7 @@ func TypedTwin(t testing.TB, q *query.CQ, db *relation.DB) (typedDB, twinDB *rel
 			continue // self-join atom: already rendered
 		}
 		var buf bytes.Buffer
-		for i, row := range src.Rows {
+		for i, row := range src.Rows() {
 			for c, v := range row {
 				switch vtype[a.Vars[c]] {
 				case relation.TypeString:
@@ -268,7 +268,7 @@ func TypedTwin(t testing.TB, q *query.CQ, db *relation.DB) (typedDB, twinDB *rel
 			}
 		}
 		twin := relation.New(a.Rel, src.Attrs...)
-		for i, row := range typed.Rows {
+		for i, row := range typed.Rows() {
 			twin.Add(typed.Weights[i], row...)
 		}
 		typedDB.AddRelation(typed)

@@ -54,8 +54,8 @@ func TestTypedTwinDecodesToLogicalDomain(t *testing.T) {
 		if typed.Size() != twin.Size() {
 			t.Fatalf("%s: typed %d rows, twin %d", a.Rel, typed.Size(), twin.Size())
 		}
-		for i := range typed.Rows {
-			logical := typed.DecodeRow(typed.Rows[i])
+		for i := range typed.Rows() {
+			logical := typed.DecodeRow(typed.Row(i))
 			for c := range logical {
 				switch vtype[a.Vars[c]] {
 				case relation.TypeString:
@@ -67,16 +67,16 @@ func TestTypedTwinDecodesToLogicalDomain(t *testing.T) {
 						t.Fatalf("%s row %d col %d: decoded %T, want float64", a.Rel, i, c, logical[c])
 					}
 				default:
-					if logical[c] != db.Relation(a.Rel).Rows[i][c] {
+					if logical[c] != db.Relation(a.Rel).At(i, c) {
 						t.Fatalf("%s row %d col %d: int column changed value: %v", a.Rel, i, c, logical[c])
 					}
 				}
 			}
 			// Physical equality with the twin is the invariant everything
 			// else rests on.
-			for c := range typed.Rows[i] {
-				if typed.Rows[i][c] != twin.Rows[i][c] {
-					t.Fatalf("%s row %d col %d: typed code %d != twin %d", a.Rel, i, c, typed.Rows[i][c], twin.Rows[i][c])
+			for c := range typed.Row(i) {
+				if typed.At(i, c) != twin.At(i, c) {
+					t.Fatalf("%s row %d col %d: typed code %d != twin %d", a.Rel, i, c, typed.At(i, c), twin.At(i, c))
 				}
 			}
 		}
