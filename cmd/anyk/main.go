@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"anyk/internal/core"
+	"anyk/internal/datalog"
 	"anyk/internal/dataset"
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
@@ -30,6 +31,7 @@ import (
 var (
 	queryFlag   = flag.String("query", "path4", "query: path<l>, star<l>, cycle<l>, cartesian<l>, clique<k>")
 	datalogFlag = flag.String("datalog", "", "Datalog query overriding -query, e.g. 'Q(*) :- R1(x,y), R2(y,z)'; atoms must reference R1..Rn of the generated dataset")
+	programFlag = flag.String("program", "", "path to a multi-rule Datalog program file overriding -query/-datalog; each base predicate binds to one generated relation (R1.. in first-use order)")
 	dataFlag    = flag.String("data", "uniform", "dataset: uniform, worstcase, bitcoin, twitter, i1, i2")
 	nFlag       = flag.Int("n", 10000, "tuples per relation (uniform/worstcase) or nodes (graphs)")
 	kFlag       = flag.Int("k", 10, "number of ranked results to print (0 = all)")
@@ -54,7 +56,20 @@ func main() {
 			fatal(err)
 		}
 	}
+	var prog *datalog.Program
+	if *programFlag != "" {
+		src, err := os.ReadFile(*programFlag)
+		if err != nil {
+			fatal(err)
+		}
+		if prog, err = datalog.ParseProgram(string(src)); err != nil {
+			fatal(fmt.Errorf("%s: %v", *programFlag, err))
+		}
+	}
 	l := len(q.Atoms)
+	if prog != nil {
+		l = len(prog.BasePredicates())
+	}
 	alg, err := core.ParseAlgorithm(*algFlag)
 	if err != nil {
 		fatal(err)
@@ -67,13 +82,24 @@ func main() {
 	if *jsonFlag {
 		summary = os.Stderr // keep stdout pure NDJSON for script pipelines
 	}
-	fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
 	var tr *obs.Trace
 	if *traceFlag {
 		tr = obs.NewTrace()
 	}
-	start := time.Now()
-	rows, it, err := run(db, q, alg, *orderFlag, *kFlag, tr)
+	var rows []core.Row[float64]
+	var it *engine.Iterator[float64]
+	var start time.Time
+	if prog != nil {
+		bindProgram(db, prog)
+		fmt.Fprintf(summary, "program %s (%d rules) over %s (n=%d), algorithm %s, order %s\n",
+			*programFlag, len(prog.Rules)+1, *dataFlag, *nFlag, alg, *orderFlag)
+		start = time.Now()
+		rows, it, err = runProgram(db, prog, alg, *orderFlag, *kFlag, tr)
+	} else {
+		fmt.Fprintf(summary, "%s over %s (n=%d), algorithm %s, order %s\n", q, *dataFlag, *nFlag, alg, *orderFlag)
+		start = time.Now()
+		rows, it, err = run(db, q, alg, *orderFlag, *kFlag, tr)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -88,6 +114,14 @@ func main() {
 		for i, b := range plan.Bags {
 			fmt.Fprintf(summary, "  bag %d (parent %d): vars=%s cover=%s assigned=%s\n",
 				i, b.Parent, strings.Join(b.Vars, ","), strings.Join(b.Cover, " "), strings.Join(b.Assigned, " "))
+		}
+		for i, st := range plan.Strata {
+			kind := "nonrecursive"
+			if st.Recursive {
+				kind = "recursive"
+			}
+			fmt.Fprintf(summary, "  stratum %d (%s): preds=%s rules=%d tuples=%d passes=%d\n",
+				i, kind, strings.Join(st.Predicates, ","), st.Rules, st.Tuples, st.Iterations)
 		}
 	}
 	switch {
@@ -168,17 +202,55 @@ func writeJSON(rows []core.Row[float64], it *engine.Iterator[float64]) error {
 	return bw.Flush()
 }
 
-func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int, tr *obs.Trace) ([]core.Row[float64], *engine.Iterator[float64], error) {
-	var d dioid.Dioid[float64]
+func orderDioid(order string) (dioid.Dioid[float64], error) {
 	switch order {
 	case "min":
-		d = dioid.Tropical{}
+		return dioid.Tropical{}, nil
 	case "max":
-		d = dioid.MaxPlus{}
-	default:
-		return nil, nil, fmt.Errorf("unknown order %q", order)
+		return dioid.MaxPlus{}, nil
+	}
+	return nil, fmt.Errorf("unknown order %q", order)
+}
+
+func run(db *relation.DB, q *query.CQ, alg core.Algorithm, order string, k int, tr *obs.Trace) ([]core.Row[float64], *engine.Iterator[float64], error) {
+	d, err := orderDioid(order)
+	if err != nil {
+		return nil, nil, err
 	}
 	it, err := engine.Enumerate[float64](db, q, d, alg, engine.Options{Parallelism: *parFlag, Tracer: tr})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	return it.Drain(k), it, nil
+}
+
+// bindProgram aliases the program's base predicates onto the generated
+// dataset: a predicate whose name matches a dataset relation binds directly,
+// the rest bind to R1, R2, ... in first-use order (so `edge` over a uniform
+// dataset reads R1). Mixing both styles is fine; running out of generated
+// relations is fatal.
+func bindProgram(db *relation.DB, p *datalog.Program) {
+	next := 1
+	for _, pred := range p.BasePredicates() {
+		if db.Relation(pred) != nil {
+			continue
+		}
+		r := db.Relation(fmt.Sprintf("R%d", next))
+		if r == nil {
+			fatal(fmt.Errorf("program base predicate %s: dataset %s has no relation R%d to bind it to", pred, *dataFlag, next))
+		}
+		next++
+		db.Alias(pred, r)
+	}
+}
+
+func runProgram(db *relation.DB, p *datalog.Program, alg core.Algorithm, order string, k int, tr *obs.Trace) ([]core.Row[float64], *engine.Iterator[float64], error) {
+	d, err := orderDioid(order)
+	if err != nil {
+		return nil, nil, err
+	}
+	it, err := datalog.Enumerate(db, p, d, alg, engine.Options{Parallelism: *parFlag, Tracer: tr})
 	if err != nil {
 		return nil, nil, err
 	}

@@ -14,13 +14,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"anyk/internal/bench"
 	"anyk/internal/core"
+	"anyk/internal/datalog"
 	"anyk/internal/dataset"
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
@@ -30,7 +33,7 @@ import (
 )
 
 var (
-	figFlag   = flag.String("fig", "", "figure/table id to regenerate (fig5, fig9, fig10..fig14, fig17, fig19, ghd1); prefixes select groups")
+	figFlag   = flag.String("fig", "", "comma-separated figure/table ids to regenerate (fig5, fig9, fig10..fig14, fig17, fig19, ghd1, datalog1, ...); each entry selects by prefix")
 	allFlag   = flag.Bool("all", false, "run every experiment")
 	scaleFlag = flag.Float64("scale", 1, "multiply default input sizes")
 	repsFlag  = flag.Int("reps", 1, "repetitions per measurement (medians)")
@@ -60,7 +63,7 @@ func main() {
 	}
 	ran := 0
 	for _, e := range experiments {
-		if *allFlag || strings.HasPrefix(e.id, *figFlag) {
+		if *allFlag || matchesFig(e.id, *figFlag) {
 			e.run()
 			ran++
 		}
@@ -82,6 +85,18 @@ type experiment struct {
 	id   string
 	desc string
 	run  func()
+}
+
+// matchesFig reports whether id is selected by the -fig value: a
+// comma-separated list where each entry matches by prefix (so "fig10" selects
+// every fig10 panel and "fig10a,datalog1" selects exactly those two groups).
+func matchesFig(id, figs string) bool {
+	for _, f := range strings.Split(figs, ",") {
+		if f = strings.TrimSpace(f); f != "" && strings.HasPrefix(id, f) {
+			return true
+		}
+	}
+	return false
 }
 
 func sc(n int) int {
@@ -294,6 +309,149 @@ var experiments = []experiment{
 	{"mem1", "allocation discipline: allocs/op + bytes/op on the fig10a serial drain", func() {
 		panel("mem1", "4-Path synthetic (allocation discipline: allocs/op, bytes/op)", query.PathQuery(4), dataset.Uniform(4, sc(1000), *seedFlag), 0)
 	}},
+
+	{"datalog1", "Datalog front-end: program vs flat query, warm program memo, recursive fixpoint", datalog1},
+}
+
+// datalog1 measures the Datalog front-end on the uniform dataset: a
+// non-recursive two-rule program (hop materializes R1⋈R2, the goal joins R3)
+// against the flat 3-path query it is weight-equivalent to, the warm
+// re-evaluation path through the program memo, and the semi-naive transitive
+// closure fixpoint over one relation. The program leg is verified against the
+// flat leg (result count and weight sum) before anything is recorded. Series
+// land in BENCH_results.json under "datalog1" with "/program", "/flat", and
+// "/warm" suffixes, plus "fixpoint/<alg>" for the recursive workload.
+func datalog1() {
+	n := sc(2000)
+	db := dataset.Uniform(4, n, *seedFlag)
+	prog, err := datalog.ParseProgram(`
+hop(x, z) :- R1(x, y), R2(y, z).
+?- hop(x, z), R3(z, u).`)
+	if err != nil {
+		fmt.Printf("datalog1: %v\n", err)
+		return
+	}
+	flat := query.NewCQ("flat", nil,
+		query.Atom{Rel: "R1", Vars: []string{"x", "y"}},
+		query.Atom{Rel: "R2", Vars: []string{"y", "z"}},
+		query.Atom{Rel: "R3", Vars: []string{"z", "u"}})
+	fmt.Printf("== datalog1: Datalog front-end vs hand-written query (uniform, n=%d) ==\n", n)
+	fmt.Printf("%-10s %-9s %13s %13s %12s %10s\n", "algorithm", "leg", "TTF", "TT(all)", "allocs/op", "|out|")
+	type measured struct {
+		ttf, total, allocs, bytes, sum float64
+		n                              int
+	}
+	run := func(enumerate func() (*engine.Iterator[float64], error)) (measured, error) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs, talloc := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		it, err := enumerate()
+		if err != nil {
+			return measured{}, err
+		}
+		defer it.Close()
+		var m measured
+		for {
+			row, ok := it.Next()
+			if !ok {
+				break
+			}
+			if m.n == 0 {
+				m.ttf = time.Since(start).Seconds()
+			}
+			m.n++
+			m.sum += row.Weight
+		}
+		m.total = time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms)
+		if m.n > 0 {
+			m.allocs = float64(ms.Mallocs-mallocs) / float64(m.n)
+			m.bytes = float64(ms.TotalAlloc-talloc) / float64(m.n)
+		}
+		return m, nil
+	}
+	var series []bench.Series
+	emit := func(alg core.Algorithm, leg string, m measured) {
+		fmt.Printf("%-10s %-9s %12.4fs %12.4fs %12.1f %10d\n", alg.String(), leg, m.ttf, m.total, m.allocs, m.n)
+		series = append(series, bench.Series{
+			Algorithm: alg.String() + "/" + leg,
+			TTF:       m.ttf, Total: m.n,
+			Points:      []bench.Point{{K: m.n, Seconds: m.total}},
+			AllocsPerOp: m.allocs, BytesPerOp: m.bytes,
+		})
+	}
+	par := maxInt(1, *parFlag)
+	for _, alg := range []core.Algorithm{core.Take2, core.Lazy, core.Batch} {
+		progM, err := run(func() (*engine.Iterator[float64], error) {
+			return datalog.Enumerate(db, prog, dioid.Tropical{}, alg, engine.Options{Parallelism: par})
+		})
+		if err != nil {
+			fmt.Printf("datalog1: %v\n", err)
+			return
+		}
+		flatM, err := run(func() (*engine.Iterator[float64], error) {
+			return engine.Enumerate[float64](db, flat, dioid.Tropical{}, alg, engine.Options{Parallelism: par})
+		})
+		if err != nil {
+			fmt.Printf("datalog1: %v\n", err)
+			return
+		}
+		if progM.n != flatM.n || math.Abs(progM.sum-flatM.sum) > 1e-6*math.Max(1, math.Abs(flatM.sum)) {
+			fmt.Printf("datalog1: OUTPUT MISMATCH program=(%d, Σw=%g) flat=(%d, Σw=%g)\n",
+				progM.n, progM.sum, flatM.n, flatM.sum)
+			return
+		}
+		// Warm leg: the first cached run fills the program memo and the
+		// compiled-plan cache, the measured second run replays both.
+		cache := engine.NewCache(0)
+		cachedEnum := func() (*engine.Iterator[float64], error) {
+			return datalog.Enumerate(db, prog, dioid.Tropical{}, alg, engine.Options{Parallelism: par, Cache: cache})
+		}
+		if _, err := run(cachedEnum); err != nil {
+			fmt.Printf("datalog1: %v\n", err)
+			return
+		}
+		warmM, err := run(cachedEnum)
+		if err != nil {
+			fmt.Printf("datalog1: %v\n", err)
+			return
+		}
+		emit(alg, "program", progM)
+		emit(alg, "flat", flatM)
+		emit(alg, "warm", warmM)
+	}
+	// Recursive leg: ranked transitive closure (shortest walk per pair) over
+	// one uniform relation aliased as edge; TTF includes the whole semi-naive
+	// fixpoint, which is the cost being tracked.
+	tcdb := dataset.Uniform(1, sc(500), *seedFlag)
+	tcdb.Alias("edge", tcdb.Relation("R1"))
+	tc, err := datalog.ParseProgram(`
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+?- path(x, y).`)
+	if err != nil {
+		fmt.Printf("datalog1: %v\n", err)
+		return
+	}
+	for _, alg := range []core.Algorithm{core.Take2, core.Batch} {
+		m, err := run(func() (*engine.Iterator[float64], error) {
+			return datalog.Enumerate(tcdb, tc, dioid.Tropical{}, alg, engine.Options{Parallelism: par})
+		})
+		if err != nil {
+			fmt.Printf("datalog1: %v\n", err)
+			return
+		}
+		fmt.Printf("%-10s %-9s %12.4fs %12.4fs %12.1f %10d\n", alg.String(), "fixpoint", m.ttf, m.total, m.allocs, m.n)
+		series = append(series, bench.Series{
+			Algorithm: "fixpoint/" + alg.String(),
+			TTF:       m.ttf, Total: m.n,
+			Points:      []bench.Point{{K: m.n, Seconds: m.total}},
+			AllocsPerOp: m.allocs, BytesPerOp: m.bytes,
+		})
+	}
+	fmt.Println()
+	record("datalog1", series)
 }
 
 // typed1 measures what the typed value domain costs: a 4-path workload over

@@ -16,6 +16,12 @@
 //     appendages, chordal cycles, ...)
 //   - internal/join — NPRR generic join, Yannakakis, hash-join and rank-join
 //     baselines
+//   - internal/datalog — the Datalog program front-end: multi-rule parsing
+//     (comments, string/float constants, negation), predicate-dependency
+//     stratification, bottom-up materialization of non-recursive rules and
+//     semi-naive fixpoints for recursive strata, handing the goal to the
+//     any-k engine for ranked enumeration (anyk -program, the server's
+//     "program" field, examples/datalog)
 //   - internal/server — the HTTP query service: resumable ranked-enumeration
 //     sessions (TTL + LRU), dataset management, CSV ingest, admission
 //     control (session and in-flight limits with structured 429s); served

@@ -1,0 +1,56 @@
+package datalog
+
+// The built-in query families double as canned one-goal programs: FromCQ
+// renders any conjunctive query in program syntax and re-parses it, so the
+// family table in package query stays the single source of truth while the
+// program front-end (CLI -program, server "program" field, examples) can
+// serve path4, star3, ... without a second table.
+
+import (
+	"fmt"
+	"strings"
+
+	"anyk/internal/query"
+)
+
+// FromCQ renders q as a single-goal Datalog program: a full query becomes a
+// bare goal directive, a query with projections becomes one sink rule whose
+// head carries the free variables. The result round-trips through
+// ParseProgram, so anything the program grammar rejects (e.g. a repeated
+// variable within an atom) is an error here too.
+func FromCQ(q *query.CQ) (*Program, error) {
+	var sb strings.Builder
+	if len(q.Free) > 0 {
+		name := q.Name
+		if name == "" {
+			name = "q"
+		}
+		fmt.Fprintf(&sb, "%s(%s) :- ", name, strings.Join(q.Free, ", "))
+	} else {
+		sb.WriteString("?- ")
+	}
+	for i, a := range q.Atoms {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s(%s)", a.Rel, strings.Join(a.Vars, ", "))
+	}
+	sb.WriteString(".")
+	p, err := ParseProgram(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("query %s is not expressible as a program: %v", q.Name, err)
+	}
+	return p, nil
+}
+
+// ParseFamilyProgram resolves a built-in query-family name (path<l>, star<l>,
+// cycle<l>, cartesian<l>, clique<k>) into its canned one-goal program. Name
+// resolution and error messages are query.ParseFamily's; this only adds the
+// program rendering.
+func ParseFamilyProgram(s string) (*Program, error) {
+	q, err := query.ParseFamily(s)
+	if err != nil {
+		return nil, err
+	}
+	return FromCQ(q)
+}

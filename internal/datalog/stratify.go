@@ -1,0 +1,216 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stratum is one strongly connected component of the predicate-dependency
+// graph, in evaluation order: every predicate a stratum's rules read (other
+// than its own) belongs to an earlier stratum or to the base database.
+type Stratum struct {
+	// Preds lists the stratum's derived predicates, sorted.
+	Preds []string
+	// Rules indexes Program.Rules (ascending) for the rules defining Preds.
+	Rules []int
+	// Recursive marks strata whose predicates depend on themselves (a self
+	// edge or a component of more than one predicate); these evaluate by
+	// semi-naive fixpoint instead of a single lowering pass.
+	Recursive bool
+}
+
+// Stratify computes the program's strata. Nodes are the derived predicates
+// (rule heads); each rule contributes an edge body-predicate → head for
+// every derived body predicate, marked negative when the atom is negated.
+// A negative edge inside a strongly connected component makes the program
+// unstratifiable — the only rejection; negation-free recursion is embraced
+// as a recursive stratum. Returned strata are topologically ordered and
+// deterministic (components tie-break by their first defining rule).
+func Stratify(p *Program) ([]Stratum, error) {
+	derived := map[string]bool{}
+	var preds []string // first-definition order
+	for _, r := range p.Rules {
+		if !derived[r.Head.Pred] {
+			derived[r.Head.Pred] = true
+			preds = append(preds, r.Head.Pred)
+		}
+	}
+	id := map[string]int{}
+	for i, q := range preds {
+		id[q] = i
+	}
+	adj := make([][]int, len(preds))
+	for _, r := range p.Rules {
+		h := id[r.Head.Pred]
+		for _, a := range r.Body {
+			if b, ok := id[a.Pred]; ok {
+				adj[b] = append(adj[b], h)
+			}
+		}
+	}
+	comp := sccs(adj)
+	// Reject negation across a component: not q(...) in a rule whose head
+	// shares q's component can never be evaluated after q is complete.
+	for _, r := range p.Rules {
+		h := id[r.Head.Pred]
+		for _, a := range r.Body {
+			if !a.Negated {
+				continue
+			}
+			if b, ok := id[a.Pred]; ok && comp[b] == comp[h] {
+				return nil, fmt.Errorf("line %d: unstratifiable program: %s is negated within its own recursive component", a.Line, a.Pred)
+			}
+		}
+	}
+	return order(p, preds, id, adj, comp), nil
+}
+
+// sccs runs an iterative Tarjan over adj and returns each node's component
+// id (ids are arbitrary; order restores determinism afterwards).
+func sccs(adj [][]int) []int {
+	n := len(adj)
+	comp := make([]int, n)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+		comp[i] = -1
+	}
+	var stack []int
+	next, ncomp := 0, 0
+	type frame struct{ v, ei int }
+	for root := 0; root < n; root++ {
+		if index[root] >= 0 {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root], low[root] = next, next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(adj[f.v]) {
+				w := adj[f.v][f.ei]
+				f.ei++
+				if index[w] < 0 {
+					index[w], low[w] = next, next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] && index[w] < low[f.v] {
+					low[f.v] = index[w]
+				}
+				continue
+			}
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp
+}
+
+// order topologically sorts the condensation (Kahn) with components
+// tie-broken by the smallest index of a rule defining them, and assembles
+// the Stratum records.
+func order(p *Program, preds []string, id map[string]int, adj [][]int, comp []int) []Stratum {
+	ncomp := 0
+	for _, c := range comp {
+		if c >= ncomp {
+			ncomp = c + 1
+		}
+	}
+	firstRule := make([]int, ncomp)
+	for i := range firstRule {
+		firstRule[i] = len(p.Rules)
+	}
+	for ri, r := range p.Rules {
+		c := comp[id[r.Head.Pred]]
+		if ri < firstRule[c] {
+			firstRule[c] = ri
+		}
+	}
+	indeg := make([]int, ncomp)
+	cadj := make([]map[int]bool, ncomp)
+	selfEdge := make([]bool, ncomp)
+	for u, outs := range adj {
+		cu := comp[u]
+		for _, v := range outs {
+			cv := comp[v]
+			if cu == cv {
+				selfEdge[cu] = true
+				continue
+			}
+			if cadj[cu] == nil {
+				cadj[cu] = map[int]bool{}
+			}
+			if !cadj[cu][cv] {
+				cadj[cu][cv] = true
+				indeg[cv]++
+			}
+		}
+	}
+	var ready []int
+	for c := 0; c < ncomp; c++ {
+		if indeg[c] == 0 {
+			ready = append(ready, c)
+		}
+	}
+	byFirstRule := func(i, j int) bool { return firstRule[ready[i]] < firstRule[ready[j]] }
+	var out []Stratum
+	for len(ready) > 0 {
+		sort.Slice(ready, byFirstRule)
+		c := ready[0]
+		ready = ready[1:]
+		var st Stratum
+		for i, q := range preds {
+			if comp[i] == c {
+				st.Preds = append(st.Preds, q)
+			}
+		}
+		sort.Strings(st.Preds)
+		members := map[string]bool{}
+		for _, q := range st.Preds {
+			members[q] = true
+		}
+		for ri, r := range p.Rules {
+			if members[r.Head.Pred] {
+				st.Rules = append(st.Rules, ri)
+			}
+		}
+		st.Recursive = len(st.Preds) > 1 || selfEdge[c]
+		out = append(out, st)
+		targets := make([]int, 0, len(cadj[c]))
+		for v := range cadj[c] {
+			targets = append(targets, v)
+		}
+		sort.Ints(targets)
+		for _, v := range targets {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	return out
+}

@@ -216,12 +216,17 @@ func heavyTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, i i
 	lift := func(j, row int) W {
 		return d.Lift(rels[at(j)].weights[row], shape.Atoms[at(j)], rels[at(j)].ids[row])
 	}
-	// Heavy values of x_i present in R_i's heavy slice.
-	heavyVals := map[relation.Value]bool{}
+	// Heavy values of x_i present in R_i's heavy slice, in first-appearance
+	// order: bag row order must be deterministic across compiles so that
+	// equal-weight results keep a stable tie order (iterating the dedup map
+	// here made repeated enumerations of the same database disagree on ties).
+	seen := map[relation.Value]bool{}
+	var heavyVals []relation.Value
 	cri := rels[i]
 	for r, row := range cri.rows {
-		if cri.isHeavy[r] {
-			heavyVals[row[0]] = true
+		if cri.isHeavy[r] && !seen[row[0]] {
+			seen[row[0]] = true
+			heavyVals = append(heavyVals, row[0])
 		}
 	}
 	tr := Tree[W]{Name: fmt.Sprintf("T%d[heavy %s]", i+1, v(0))}
@@ -265,7 +270,7 @@ func heavyTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, i i
 				if !use(rels[at(1)], r1, p1) {
 					continue
 				}
-				for h := range heavyVals {
+				for _, h := range heavyVals {
 					for _, r0 := range idx0[pair{h, row1[0]}] {
 						w := d.Times(lift(0, r0), lift(1, r1))
 						in.Rows = append(in.Rows, []relation.Value{h, row1[0], row1[1]})
@@ -281,7 +286,7 @@ func heavyTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, i i
 				if !use(rels[at(l-2)], rm, pm) {
 					continue
 				}
-				for h := range heavyVals {
+				for _, h := range heavyVals {
 					for _, rl := range idxLast[pair{rowm[1], h}] {
 						w := d.Times(lift(l-2, rm), lift(l-1, rl))
 						in.Rows = append(in.Rows, []relation.Value{h, rowm[0], rowm[1]})
@@ -296,7 +301,7 @@ func heavyTree[W any](d dioid.Dioid[W], rels []*cycleRel, shape *CycleShape, i i
 				if !use(rels[at(b+1)], rj, pj) {
 					continue
 				}
-				for h := range heavyVals {
+				for _, h := range heavyVals {
 					in.Rows = append(in.Rows, []relation.Value{h, rowj[0], rowj[1]})
 					in.Weights = append(in.Weights, lift(b+1, rj))
 				}

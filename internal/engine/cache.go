@@ -137,6 +137,25 @@ func (c *Cache) store(key string, v any) {
 	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, val: v})
 }
 
+// GetOrBuild returns the cached value under key, or calls build, stores its
+// result, and returns it (hit reports which happened). It is the hook for
+// callers that memoize their own derived artifacts — the Datalog front-end
+// caches whole materialized programs this way — with the same LRU, the same
+// counters, and the same rule: the stored value must be immutable. Like the
+// internal layers, concurrent misses on one key may both build and the last
+// store wins, so build must be idempotent.
+func (c *Cache) GetOrBuild(key string, build func() (any, error)) (v any, hit bool, err error) {
+	if v, ok := c.lookup(key); ok {
+		return v, true, nil
+	}
+	v, err = build()
+	if err != nil {
+		return nil, false, err
+	}
+	c.store(key, v)
+	return v, false, nil
+}
+
 // planCacheKey identifies a compiled plan: the database instance and
 // version pin the data, the query string the shape, and the dioid (its
 // concrete type including parameters, which also encodes the weight type W)

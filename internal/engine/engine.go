@@ -106,6 +106,25 @@ type PlanInfo struct {
 	Parallelism int `json:"parallelism,omitempty"`
 	// Bags describes the GHD join tree (nil on the other routes).
 	Bags []BagInfo `json:"bags,omitempty"`
+	// Strata reports the materialization phases a Datalog program ran before
+	// this plan's goal query (nil for plain CQ enumeration). Entries are in
+	// evaluation order.
+	Strata []StratumInfo `json:"strata,omitempty"`
+}
+
+// StratumInfo summarizes one evaluated stratum of a Datalog program.
+type StratumInfo struct {
+	// Predicates are the stratum's derived predicates, sorted.
+	Predicates []string `json:"predicates"`
+	// Recursive marks semi-naive fixpoint strata.
+	Recursive bool `json:"recursive,omitempty"`
+	// Rules is the number of program rules defining the stratum.
+	Rules int `json:"rules"`
+	// Tuples is the total number of derived tuples across Predicates.
+	Tuples int `json:"tuples"`
+	// Iterations is the number of semi-naive passes a recursive stratum ran
+	// until fixpoint (1 for non-recursive strata: the single lowering pass).
+	Iterations int `json:"iterations"`
 }
 
 // BagInfo is one GHD bag as reported in plans.

@@ -78,27 +78,50 @@ func CliqueQuery(k int) *CQ {
 
 func xvar(i int) string { return fmt.Sprintf("x%d", i) }
 
+// familySpec ties a family name to its builder and the size-suffix letter
+// its documentation uses (<l> for chain/star lengths, <k> for clique size).
+type familySpec struct {
+	name   string
+	suffix string
+	build  func(int) *CQ
+}
+
+// families is the single table of built-in query families, shared by the
+// CLI and the HTTP service; FamilyNames and ParseFamily errors enumerate it
+// so the two surfaces always advertise the same spellings.
+var families = []familySpec{
+	{"path", "l", PathQuery},
+	{"star", "l", StarQuery},
+	{"cycle", "l", CycleQuery},
+	{"cartesian", "l", CartesianQuery},
+	{"clique", "k", CliqueQuery},
+}
+
+// FamilyNames returns the valid family forms ("path<l>", "star<l>", ...)
+// in table order, for error messages, --help text, and API docs.
+func FamilyNames() []string {
+	out := make([]string, len(families))
+	for i, f := range families {
+		out[i] = f.name + "<" + f.suffix + ">"
+	}
+	return out
+}
+
 // ParseFamily resolves the built-in query families by name: path<l>,
 // star<l>, cycle<l>, cartesian<l>, clique<k>. Both the CLI and the HTTP
-// service resolve family names through this single table.
+// service resolve family names through this single table; errors enumerate
+// the valid names and the expected size-suffix form.
 func ParseFamily(s string) (*CQ, error) {
-	for _, p := range []struct {
-		prefix string
-		build  func(int) *CQ
-	}{
-		{"path", PathQuery},
-		{"star", StarQuery},
-		{"cycle", CycleQuery},
-		{"cartesian", CartesianQuery},
-		{"clique", CliqueQuery},
-	} {
-		if strings.HasPrefix(s, p.prefix) {
-			l, err := strconv.Atoi(strings.TrimPrefix(s, p.prefix))
+	for _, f := range families {
+		if strings.HasPrefix(s, f.name) {
+			l, err := strconv.Atoi(strings.TrimPrefix(s, f.name))
 			if err != nil || l < 1 {
-				return nil, fmt.Errorf("bad query size in %q", s)
+				return nil, fmt.Errorf("query family %q needs a positive integer size suffix %s<%s>, e.g. %s4",
+					s, f.name, f.suffix, f.name)
 			}
-			return p.build(l), nil
+			return f.build(l), nil
 		}
 	}
-	return nil, fmt.Errorf("unknown query %q (want path<l>, star<l>, cycle<l>, cartesian<l>, clique<k>)", s)
+	return nil, fmt.Errorf("unknown query family %q: valid families are %s, each with an integer size suffix (e.g. path4)",
+		s, strings.Join(FamilyNames(), ", "))
 }

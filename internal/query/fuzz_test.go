@@ -17,6 +17,11 @@ func FuzzParseFamily(f *testing.F) {
 	f.Add("clique0")
 	f.Add("")
 	f.Add("pathpath4")
+	f.Add("triangle3")  // unknown family: error must enumerate valid names
+	f.Add("path")       // family with no size suffix
+	f.Add("cliqueX")    // family with a non-numeric suffix
+	f.Add("star 3")     // whitespace is not part of the form
+	f.Add("cartesian0") // non-positive size
 	f.Fuzz(func(t *testing.T, name string) {
 		q, err := ParseFamily(name)
 		if err != nil {

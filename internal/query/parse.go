@@ -2,9 +2,53 @@ package query
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
+
+// TermKind discriminates the argument kinds of the shared atom grammar.
+type TermKind int
+
+const (
+	// TermVar is a variable (or the `*` wildcard in query heads).
+	TermVar TermKind = iota
+	// TermString is a double-quoted string constant.
+	TermString
+	// TermInt is an integer constant.
+	TermInt
+	// TermFloat is a floating-point constant.
+	TermFloat
+)
+
+// Term is one argument position of an atom in the shared grammar: a variable
+// or a constant literal. Constants are resolved against the data dictionary
+// by the Datalog layer (package datalog); plain CQ parsing rejects them,
+// since the engine joins variables only.
+type Term struct {
+	Kind  TermKind
+	Var   string  // TermVar: the variable name
+	Str   string  // TermString: the unquoted, unescaped value
+	Int   int64   // TermInt
+	Float float64 // TermFloat
+}
+
+// IsVar reports whether the term is a variable.
+func (t Term) IsVar() bool { return t.Kind == TermVar }
+
+// String renders the term back into source syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case TermString:
+		return strconv.Quote(t.Str)
+	case TermInt:
+		return strconv.FormatInt(t.Int, 10)
+	case TermFloat:
+		return strconv.FormatFloat(t.Float, 'g', -1, 64)
+	default:
+		return t.Var
+	}
+}
 
 // Parse reads a conjunctive query in Datalog notation, e.g.
 //
@@ -13,6 +57,9 @@ import (
 // The head lists the free variables; `Q(*)` (or repeating every variable)
 // makes the query full. Identifiers are letters/digits/underscores starting
 // with a letter. Whitespace is insignificant; a trailing period is allowed.
+// Constants and repeated variables inside one atom are rejected — a CQ atom
+// is a pure equi-join pattern; selections belong to the Datalog program
+// layer.
 func Parse(s string) (*CQ, error) {
 	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "."))
 	head, body, ok := strings.Cut(s, ":-")
@@ -26,13 +73,20 @@ func Parse(s string) (*CQ, error) {
 	var atoms []Atom
 	rest := strings.TrimSpace(body)
 	for len(rest) > 0 {
-		close := strings.IndexByte(rest, ')')
+		close := closeParen(rest)
 		if close < 0 {
 			return nil, fmt.Errorf("body: unterminated atom in %q", rest)
 		}
 		rel, vars, err := parseAtom(rest[:close+1])
 		if err != nil {
 			return nil, fmt.Errorf("body: %w", err)
+		}
+		seen := map[string]bool{}
+		for _, v := range vars {
+			if seen[v] {
+				return nil, fmt.Errorf("repeated variable %s in atom %s (selection predicates not yet supported)", v, rel)
+			}
+			seen[v] = true
 		}
 		atoms = append(atoms, Atom{Rel: rel, Vars: vars})
 		rest = strings.TrimSpace(rest[close+1:])
@@ -68,8 +122,46 @@ func Parse(s string) (*CQ, error) {
 	return q, nil
 }
 
-// parseAtom reads `Name(v1,v2,...)`.
+// closeParen returns the index of the first ')' in s that does not sit
+// inside a double-quoted string constant, or -1.
+func closeParen(s string) int {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inStr = !inStr
+		case !inStr && s[i] == ')':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseAtom reads `Name(v1,v2,...)` where every term must be a variable
+// (constants are Datalog-layer territory).
 func parseAtom(s string) (name string, vars []string, err error) {
+	name, terms, err := ParseAtomTerms(s)
+	if err != nil {
+		return "", nil, err
+	}
+	vars = make([]string, len(terms))
+	for i, t := range terms {
+		if !t.IsVar() {
+			return "", nil, fmt.Errorf("constant %s in atom %s: constants are only supported in Datalog programs", t, name)
+		}
+		vars[i] = t.Var
+	}
+	return name, vars, nil
+}
+
+// ParseAtomTerms reads one atom `Name(t1,t2,...)` of the shared grammar,
+// where each term is a variable, the `*` wildcard, a double-quoted string
+// constant (escapes: \" \\ \n \t), or a numeric constant (an int64 literal,
+// or a float literal when it carries a '.' or an exponent). This is the one
+// atom grammar shared by CQ parsing and the Datalog program parser.
+func ParseAtomTerms(s string) (name string, terms []Term, err error) {
 	s = strings.TrimSpace(s)
 	open := strings.IndexByte(s, '(')
 	if open <= 0 || !strings.HasSuffix(s, ")") {
@@ -79,19 +171,135 @@ func parseAtom(s string) (name string, vars []string, err error) {
 	if !ident(name) {
 		return "", nil, fmt.Errorf("bad relation/query name %q", name)
 	}
-	inner := strings.TrimSpace(s[open+1 : len(s)-1])
-	if inner == "" {
-		return "", nil, fmt.Errorf("atom %s has no variables", name)
+	terms, err = scanTerms(name, s[open+1:len(s)-1])
+	if err != nil {
+		return "", nil, err
 	}
-	for _, part := range strings.Split(inner, ",") {
-		v := strings.TrimSpace(part)
-		if v != "*" && !ident(v) {
-			return "", nil, fmt.Errorf("bad variable %q in atom %s", v, name)
-		}
-		vars = append(vars, v)
-	}
-	return name, vars, nil
+	return name, terms, nil
 }
+
+// scanTerms splits the inside of an atom's parentheses into terms,
+// respecting quoted strings (a comma inside "..." is data, not a separator).
+func scanTerms(name, inner string) ([]Term, error) {
+	if strings.TrimSpace(inner) == "" {
+		return nil, fmt.Errorf("atom %s has no variables", name)
+	}
+	var terms []Term
+	i := 0
+	for {
+		for i < len(inner) && isSpace(inner[i]) {
+			i++
+		}
+		if i >= len(inner) {
+			return nil, fmt.Errorf("atom %s: trailing comma", name)
+		}
+		var t Term
+		if inner[i] == '"' {
+			str, next, err := scanString(name, inner, i)
+			if err != nil {
+				return nil, err
+			}
+			t = Term{Kind: TermString, Str: str}
+			i = next
+		} else {
+			j := i
+			for j < len(inner) && inner[j] != ',' {
+				j++
+			}
+			var err error
+			if t, err = bareTerm(name, strings.TrimSpace(inner[i:j])); err != nil {
+				return nil, err
+			}
+			i = j
+		}
+		terms = append(terms, t)
+		for i < len(inner) && isSpace(inner[i]) {
+			i++
+		}
+		if i >= len(inner) {
+			return terms, nil
+		}
+		if inner[i] != ',' {
+			return nil, fmt.Errorf("atom %s: expected ',' before %q", name, inner[i:])
+		}
+		i++
+	}
+}
+
+// scanString reads the double-quoted string starting at inner[i] and returns
+// its unescaped value plus the index just past the closing quote.
+func scanString(name, inner string, i int) (string, int, error) {
+	var sb strings.Builder
+	j := i + 1
+	for j < len(inner) {
+		c := inner[j]
+		switch c {
+		case '"':
+			return sb.String(), j + 1, nil
+		case '\\':
+			j++
+			if j >= len(inner) {
+				return "", 0, fmt.Errorf("atom %s: unterminated string constant", name)
+			}
+			switch inner[j] {
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				return "", 0, fmt.Errorf("atom %s: bad escape \\%c in string constant", name, inner[j])
+			}
+		default:
+			sb.WriteByte(c)
+		}
+		j++
+	}
+	return "", 0, fmt.Errorf("atom %s: unterminated string constant", name)
+}
+
+// bareTerm classifies an unquoted token as a variable, wildcard, or numeric
+// constant.
+func bareTerm(name, tok string) (Term, error) {
+	switch {
+	case tok == "*":
+		return Term{Kind: TermVar, Var: "*"}, nil
+	case ident(tok):
+		return Term{Kind: TermVar, Var: tok}, nil
+	case numberLike(tok):
+		if strings.ContainsAny(tok, ".eE") {
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return Term{}, fmt.Errorf("bad numeric constant %q in atom %s", tok, name)
+			}
+			return Term{Kind: TermFloat, Float: f}, nil
+		}
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("bad numeric constant %q in atom %s", tok, name)
+		}
+		return Term{Kind: TermInt, Int: n}, nil
+	default:
+		return Term{}, fmt.Errorf("bad variable %q in atom %s", tok, name)
+	}
+}
+
+// numberLike reports whether tok starts like a numeric literal.
+func numberLike(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	c := tok[0]
+	if c == '-' || c == '+' {
+		return len(tok) > 1
+	}
+	return c >= '0' && c <= '9'
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
 
 func ident(s string) bool {
 	if s == "" {

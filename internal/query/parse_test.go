@@ -1,6 +1,9 @@
 package query
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseFull(t *testing.T) {
 	q, err := Parse("Q(*) :- R1(x1,x2), R2(x2,x3).")
@@ -68,5 +71,115 @@ func TestParseErrors(t *testing.T) {
 		if _, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) succeeded", s)
 		}
+	}
+}
+
+// TestParseRepeatedVariable pins the satellite fix: a variable repeated
+// inside one atom used to be accepted silently (the engine then treated the
+// positions as independent), and must now be rejected with a message that
+// names the variable, the atom, and the missing feature.
+func TestParseRepeatedVariable(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // "" = must parse
+	}{
+		{"Q(*) :- R(x,x)", "repeated variable x in atom R (selection predicates not yet supported)"},
+		{"Q(*) :- R(x,y), S(y,y)", "repeated variable y in atom S (selection predicates not yet supported)"},
+		{"Q(*) :- R(a,b,a)", "repeated variable a in atom R (selection predicates not yet supported)"},
+		{"Q(x,y) :- R(x,y), S(y,x)", ""},   // cross-atom repetition is a join, fine
+		{"Q(x) :- R(x,y), S(x,z)", ""},     // same var across atoms, fine
+		{"Q(x,x) :- R(x,y)", ""},           // head repetition selects columns, not rows
+		{"Q(*) :- R(x_1,x_2), S(x_2)", ""}, // underscored idents are distinct vars
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("Parse(%q): unexpected error %v", c.in, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded with %s, want error %q", c.in, q, c.want)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("Parse(%q) error = %q, want %q", c.in, err, c.want)
+		}
+	}
+}
+
+// TestParseRejectsConstants pins the split of labor with the Datalog layer:
+// the shared atom grammar reads constants, but a plain CQ rejects them with
+// a pointer at the program front-end.
+func TestParseRejectsConstants(t *testing.T) {
+	for _, s := range []string{
+		`Q(*) :- R(x,"paper")`,
+		"Q(*) :- R(x,42)",
+		"Q(*) :- R(x,2.5), S(x)",
+	} {
+		_, err := Parse(s)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want constant rejection", s)
+		}
+	}
+}
+
+// TestParseAtomTerms covers the shared grammar the Datalog parser builds on.
+func TestParseAtomTerms(t *testing.T) {
+	name, terms, err := ParseAtomTerms(`edge(x, "a,b\"c", -7, 2.5, y)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "edge" || len(terms) != 5 {
+		t.Fatalf("got %s %v", name, terms)
+	}
+	want := []Term{
+		{Kind: TermVar, Var: "x"},
+		{Kind: TermString, Str: `a,b"c`},
+		{Kind: TermInt, Int: -7},
+		{Kind: TermFloat, Float: 2.5},
+		{Kind: TermVar, Var: "y"},
+	}
+	for i, w := range want {
+		if terms[i] != w {
+			t.Errorf("term %d = %+v, want %+v", i, terms[i], w)
+		}
+	}
+	for _, bad := range []string{
+		`edge(x, "unterminated`,
+		`edge(x, "bad\q")`,
+		"edge(x,)",
+		"edge(,x)",
+		"edge()",
+		"edge(x y)",
+		"(x)",
+		"edge",
+	} {
+		if _, _, err := ParseAtomTerms(bad); err == nil {
+			t.Errorf("ParseAtomTerms(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestParseFamilyErrors checks the UX contract: unknown families enumerate
+// every valid name with its suffix form, and bad sizes name the family.
+func TestParseFamilyErrors(t *testing.T) {
+	_, err := ParseFamily("triangle3")
+	if err == nil {
+		t.Fatal("ParseFamily(triangle3) succeeded")
+	}
+	for _, form := range FamilyNames() {
+		if !strings.Contains(err.Error(), form) {
+			t.Errorf("unknown-family error %q does not mention %q", err, form)
+		}
+	}
+	_, err = ParseFamily("path0")
+	if err == nil || !strings.Contains(err.Error(), "path<l>") || !strings.Contains(err.Error(), "positive integer") {
+		t.Errorf("bad-size error %q should name the family form and the size rule", err)
+	}
+	_, err = ParseFamily("cliqueX")
+	if err == nil || !strings.Contains(err.Error(), "clique<k>") {
+		t.Errorf("bad-size error %q should use the clique's <k> suffix", err)
 	}
 }

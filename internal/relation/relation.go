@@ -485,6 +485,14 @@ func (db *DB) Clone() *DB {
 // Relation returns the named relation or nil.
 func (db *DB) Relation(name string) *Relation { return db.rels[name] }
 
+// NewDerived creates an empty typed relation wired to this database's
+// dictionary, so derived tuples join base tuples on equal codes. The caller
+// fills it and registers it with AddRelation; version stamps then come from
+// the normal mutation path, keeping compiled-plan cache invalidation exact.
+func (db *DB) NewDerived(name string, attrs []string, types []Type) (*Relation, error) {
+	return NewTyped(name, db.dict, attrs, types)
+}
+
 // Names returns relation names in insertion order.
 func (db *DB) Names() []string { return append([]string(nil), db.order...) }
 

@@ -726,7 +726,7 @@ func (s *Server) handleCreateQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadRequest, err.Error())
 		return
 	}
-	sess := s.Sessions.Create(o.it, o.q.String(), o.dioid, o.alg.String())
+	sess := s.Sessions.Create(o.it, o.name, o.dioid, o.alg.String())
 	// The session is already reachable by id, so its trace installs under Mu.
 	sess.Mu.Lock()
 	sess.Trace = o.trace

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"anyk/internal/core"
+	"anyk/internal/datalog"
 	"anyk/internal/dioid"
 	"anyk/internal/engine"
 	"anyk/internal/obs"
@@ -103,6 +104,18 @@ var dioidBuilders = map[string]func(*relation.DB, *query.CQ, core.Algorithm, eng
 	},
 }
 
+// scalarDioids maps the canonical names of the float64 dioids onto their
+// instances. Datalog program evaluation needs the concrete dioid value (the
+// fixpoint folds weights with Plus), and only Lift-identity scalar dioids
+// qualify — the lexicographic dioid's weight shape depends on the goal's atom
+// count, which rule materialization would change mid-program.
+var scalarDioids = map[string]dioid.Dioid[float64]{
+	"min":      dioid.Tropical{},
+	"max":      dioid.MaxPlus{},
+	"maxtimes": dioid.MaxTimes{},
+	"minmax":   dioid.MinMax{},
+}
+
 // dioidAliases maps accepted spellings onto canonical dioid names.
 var dioidAliases = map[string]string{
 	"":              "min",
@@ -144,8 +157,9 @@ func parseAlgorithm(s string) (core.Algorithm, error) {
 	return core.ParseAlgorithm(s)
 }
 
-// resolveQuery turns a QueryRequest's query fields into a CQ: exactly one of
-// the family name and the Datalog string must be set.
+// resolveQuery turns a QueryRequest's single-query fields into a CQ: exactly
+// one of the family name and the Datalog string must be set. Multi-rule
+// programs take the separate path through openIter.
 func resolveQuery(req *QueryRequest) (*query.CQ, error) {
 	switch {
 	case req.Datalog != "" && req.Query != "":
@@ -155,15 +169,16 @@ func resolveQuery(req *QueryRequest) (*query.CQ, error) {
 	case req.Query != "":
 		return query.ParseFamily(req.Query)
 	}
-	return nil, fmt.Errorf("request needs either \"query\" (a family like path4) or \"datalog\"")
+	return nil, fmt.Errorf("request needs one of \"query\" (a family like path4), \"datalog\", or \"program\"")
 }
 
 // opened is everything a new session needs: the type-erased iterator, the
-// canonical names the request resolved to, and the per-query trace the
-// engine recorded its phase spans on.
+// canonical names the request resolved to (name is the canonical query or
+// program text), and the per-query trace the engine recorded its phase spans
+// on.
 type opened struct {
 	it    Iter
-	q     *query.CQ
+	name  string
 	dioid string
 	alg   core.Algorithm
 	trace *obs.Trace
@@ -191,10 +206,6 @@ func resolveParallelism(requested, cap int) (int, error) {
 // the same dataset version share preprocessing; maxParallelism caps the
 // per-session worker count.
 func openIter(db *relation.DB, cache *engine.Cache, req *QueryRequest, maxParallelism int) (*opened, error) {
-	q, err := resolveQuery(req)
-	if err != nil {
-		return nil, err
-	}
 	dname, err := canonicalDioid(req.Dioid)
 	if err != nil {
 		return nil, err
@@ -216,9 +227,32 @@ func openIter(db *relation.DB, cache *engine.Cache, req *QueryRequest, maxParall
 	// the session pages. The handlers expose it via /v1/queries/{id}/stats.
 	tr := obs.NewTrace()
 	opt := engine.Options{Semantics: sem, Dedup: req.Dedup, Parallelism: par, Cache: cache, Tracer: tr}
+	if req.Program != "" {
+		if req.Query != "" || req.Datalog != "" {
+			return nil, fmt.Errorf("set only one of \"query\", \"datalog\", and \"program\"")
+		}
+		d, ok := scalarDioids[dname]
+		if !ok {
+			return nil, fmt.Errorf("datalog programs rank under scalar dioids only (min, max, maxtimes, minmax); %q is not supported", dname)
+		}
+		p, err := datalog.ParseProgram(req.Program)
+		if err != nil {
+			return nil, fmt.Errorf("program: %v", err)
+		}
+		it, err := datalog.Enumerate(db, p, d, alg, opt)
+		if err != nil {
+			return nil, fmt.Errorf("program: %v", err)
+		}
+		erased := &eraseIter[float64]{it: it, weight: scalarWeight}
+		return &opened{it: erased, name: p.String(), dioid: dname, alg: alg, trace: tr}, nil
+	}
+	q, err := resolveQuery(req)
+	if err != nil {
+		return nil, err
+	}
 	it, err := dioidBuilders[dname](db, q, alg, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &opened{it: it, q: q, dioid: dname, alg: alg, trace: tr}, nil
+	return &opened{it: it, name: q.String(), dioid: dname, alg: alg, trace: tr}, nil
 }

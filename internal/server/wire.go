@@ -72,12 +72,16 @@ type DatasetResponse struct {
 }
 
 // QueryRequest opens an enumeration session (POST /v1/queries). Exactly one
-// of Query (a built-in family: path<l>, star<l>, cycle<l>, cartesian<l>) or
-// Datalog (a full query string for query.Parse) must be set.
+// of Query (a built-in family: path<l>, star<l>, cycle<l>, cartesian<l>),
+// Datalog (a single conjunctive-query string for query.Parse), or Program (a
+// multi-rule Datalog program for datalog.ParseProgram: the server stratifies
+// and materializes the rules over the dataset, then ranks the goal) must be
+// set.
 type QueryRequest struct {
 	Dataset string `json:"dataset"`
 	Query   string `json:"query,omitempty"`
 	Datalog string `json:"datalog,omitempty"`
+	Program string `json:"program,omitempty"`
 	// Dioid names the ranking order: "min" (tropical, default), "max",
 	// "maxtimes", "minmax", or "lex".
 	Dioid string `json:"dioid,omitempty"`

@@ -1,0 +1,228 @@
+package testkit
+
+// Datalog differential harnesses: (1) a program-vs-hand-lowered twin — the
+// front-end's lowering of a multi-rule program must be bit-identical to
+// performing the same materialization steps by hand through the engine API —
+// and (2) a Dijkstra-style oracle for ranked reachability, pinning the
+// semi-naive fixpoint's weights against an independent shortest-path
+// computation.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"anyk/internal/core"
+	"anyk/internal/datalog"
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// LowerByHand materializes a derived predicate by hand: enumerate each body
+// query over db (Batch, serial — the reference the evaluator itself uses),
+// project each ranked row onto headVars, and append the streams in rule
+// order into one relation registered in db as name. It is the independent
+// straight-line twin of the front-end's rule lowering.
+func LowerByHand(t testing.TB, db *relation.DB, name string, headVars []string, d dioid.Dioid[float64], qs ...*query.CQ) {
+	t.Helper()
+	var rel *relation.Relation
+	for _, q := range qs {
+		it, err := engine.Enumerate(db, q, d, core.Batch, engine.Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("testkit: hand-lower %s: %v", name, err)
+		}
+		pos := map[string]int{}
+		for i, v := range it.Vars {
+			pos[v] = i
+		}
+		cols := make([]int, len(headVars))
+		types := make([]relation.Type, len(headVars))
+		for i, v := range headVars {
+			j, ok := pos[v]
+			if !ok {
+				t.Fatalf("testkit: hand-lower %s: head variable %s not in %v", name, v, it.Vars)
+			}
+			cols[i] = j
+			if it.Types != nil {
+				types[i] = it.Types[j]
+			}
+		}
+		if rel == nil {
+			if rel, err = db.NewDerived(name, headVars, types); err != nil {
+				t.Fatalf("testkit: hand-lower %s: %v", name, err)
+			}
+		}
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			row := make([]relation.Value, len(cols))
+			for i, c := range cols {
+				row[i] = r.Vals[c]
+			}
+			if _, err := rel.TryAdd(r.Weight, row...); err != nil {
+				t.Fatalf("testkit: hand-lower %s: %v", name, err)
+			}
+		}
+		it.Close()
+	}
+	db.AddRelation(rel)
+}
+
+// CollectProgram enumerates a Datalog program and returns the ranked stream.
+func CollectProgram(t testing.TB, db *relation.DB, src string, d dioid.Dioid[float64], alg core.Algorithm, opt engine.Options) []core.Row[float64] {
+	t.Helper()
+	p, err := datalog.ParseProgram(src)
+	if err != nil {
+		t.Fatalf("testkit: parse program: %v", err)
+	}
+	it, err := datalog.Enumerate(db, p, d, alg, opt)
+	if err != nil {
+		t.Fatalf("testkit: program enumerate %v/p=%d: %v", alg, opt.Parallelism, err)
+	}
+	defer it.Close()
+	return it.Drain(0)
+}
+
+// DiffProgram is the program-vs-twin differential: for every ranked
+// algorithm at every parallelism in ps, the program's goal enumeration over
+// db must be bit-identical — order, weights, and tie resolution — to twin
+// over twinDB (the caller's hand-lowered replica), uncached and through a
+// shared cache (cold and warm). It finishes by asserting that re-evaluating
+// the cached program hits both the program memo and the goal's compiled
+// plan instead of re-materializing.
+func DiffProgram(t testing.TB, db *relation.DB, src string, twinDB *relation.DB, twin *query.CQ, d dioid.Dioid[float64], ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4}
+	}
+	if _, err := datalog.ParseProgram(src); err != nil {
+		t.Fatalf("testkit: parse program: %v", err)
+	}
+	progCache, twinCache := engine.NewCache(0), engine.NewCache(0)
+	for _, alg := range core.Algorithms {
+		for _, par := range ps {
+			label := fmt.Sprintf("program/%v/p=%d", alg, par)
+			ref := Collect(t, twinDB, twin, d, alg, par)
+			got := CollectProgram(t, db, src, d, alg, engine.Options{Parallelism: par})
+			CompareExact(t, label+"/uncached", d, got, ref)
+			for _, run := range []string{"cold", "warm"} {
+				got := CollectProgram(t, db, src, d, alg, engine.Options{Parallelism: par, Cache: progCache})
+				ref := CollectOpt(t, twinDB, twin, d, alg, engine.Options{Parallelism: par, Cache: twinCache})
+				CompareExact(t, label+"/"+run, d, got, ref)
+			}
+		}
+	}
+	if progCache.Stats().Hits == 0 {
+		t.Fatalf("warm program runs never hit the cache (stats %+v)", progCache.Stats())
+	}
+	before := progCache.Stats().Hits
+	CollectProgram(t, db, src, d, core.Take2, engine.Options{Parallelism: 1, Cache: progCache})
+	if after := progCache.Stats().Hits; after < before+2 {
+		t.Fatalf("re-evaluation should hit the program memo and the compiled plan: hits %d -> %d", before, after)
+	}
+}
+
+// ReachabilityProgram is the canonical recursive test program: transitive
+// closure over edge, whose fixpoint under the tropical dioid assigns every
+// reachable pair its shortest-path distance (walks of at least one edge).
+const ReachabilityProgram = `
+path(x, y) :- edge(x, y).
+path(x, z) :- path(x, y), edge(y, z).
+?- path(x, y).`
+
+// ReachabilityOracle computes, independently of the fixpoint machinery, the
+// minimum walk weight (at least one edge, non-negative weights) between
+// every connected pair of rel's rows: a Dijkstra run per source node.
+func ReachabilityOracle(t testing.TB, rel *relation.Relation) map[[2]relation.Value]float64 {
+	t.Helper()
+	type arc struct {
+		to relation.Value
+		w  float64
+	}
+	adj := map[relation.Value][]arc{}
+	for i := 0; i < rel.Size(); i++ {
+		if rel.Weights[i] < 0 {
+			t.Fatalf("testkit: reachability oracle needs non-negative weights, got %v", rel.Weights[i])
+		}
+		adj[rel.At(i, 0)] = append(adj[rel.At(i, 0)], arc{rel.At(i, 1), rel.Weights[i]})
+	}
+	out := map[[2]relation.Value]float64{}
+	for s := range adj {
+		dist := map[relation.Value]float64{}
+		done := map[relation.Value]bool{}
+		for _, a := range adj[s] {
+			if d, ok := dist[a.to]; !ok || a.w < d {
+				dist[a.to] = a.w
+			}
+		}
+		for {
+			u, best, found := relation.Value(0), math.Inf(1), false
+			for v, d := range dist {
+				if !done[v] && d < best {
+					u, best, found = v, d, true
+				}
+			}
+			if !found {
+				break
+			}
+			done[u] = true
+			for _, a := range adj[u] {
+				if nd := best + a.w; !done[a.to] {
+					if d, ok := dist[a.to]; !ok || nd < d {
+						dist[a.to] = nd
+					}
+				}
+			}
+		}
+		for v, d := range dist {
+			out[[2]relation.Value{s, v}] = d
+		}
+	}
+	return out
+}
+
+// DiffReachability runs ReachabilityProgram over db (which must hold a
+// binary "edge" relation with non-negative weights) and asserts the ranked
+// stream is exactly the oracle's pair set — each reachable pair once, its
+// weight the shortest-path distance within 1e-9 — in non-decreasing weight
+// order, and that the plan reports a recursive stratum.
+func DiffReachability(t testing.TB, db *relation.DB) {
+	t.Helper()
+	p, err := datalog.ParseProgram(ReachabilityProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := datalog.Enumerate(db, p, dioid.Tropical{}, core.Take2, engine.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if it.Plan == nil || len(it.Plan.Strata) != 1 || !it.Plan.Strata[0].Recursive {
+		t.Fatalf("plan should report one recursive stratum, got %+v", it.Plan)
+	}
+	want := ReachabilityOracle(t, db.Relation("edge"))
+	rows := it.Drain(0)
+	if len(rows) != len(want) {
+		t.Fatalf("enumerated %d pairs, oracle has %d", len(rows), len(want))
+	}
+	prev := math.Inf(-1)
+	for i, r := range rows {
+		if r.Weight < prev-1e-12 {
+			t.Fatalf("rank %d: weight %v after %v (not non-decreasing)", i, r.Weight, prev)
+		}
+		prev = r.Weight
+		key := [2]relation.Value{r.Vals[0], r.Vals[1]}
+		d, ok := want[key]
+		if !ok {
+			t.Fatalf("rank %d: pair %v not in oracle (or enumerated twice)", i, key)
+		}
+		if math.Abs(d-r.Weight) > 1e-9 {
+			t.Fatalf("rank %d: pair %v weight %v, oracle says %v", i, key, r.Weight, d)
+		}
+		delete(want, key)
+	}
+}
