@@ -107,6 +107,9 @@ func main() {
 	elapsed := time.Since(start)
 	if plan != nil {
 		fmt.Fprintf(summary, "plan: route=%s width=%d trees=%d", plan.Route, plan.Width, plan.Trees)
+		if plan.Predicates > 0 {
+			fmt.Fprintf(summary, " predicates=%d", plan.Predicates)
+		}
 		if plan.Shards > 0 {
 			fmt.Fprintf(summary, " shards=%d parallelism=%d", plan.Shards, plan.Parallelism)
 		}

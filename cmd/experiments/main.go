@@ -311,6 +311,184 @@ var experiments = []experiment{
 	}},
 
 	{"datalog1", "Datalog front-end: program vs flat query, warm program memo, recursive fixpoint", datalog1},
+
+	{"filter1", "predicate pushdown vs materialized selection relations vs unfiltered (4-path at 1%/10%/50% selectivity)", filter1},
+}
+
+// filter1 measures the predicate-pushdown layer: a 4-path query with an
+// ordered selection predicate on every atom, evaluated three ways per
+// selectivity —
+//
+//   - "pushdown": predicates ride the atoms and resolve via filtered scans
+//     over the memoized sorted-column permutation (prewarmed once, as a
+//     resident dataset would have it); each rep varies a vacuous extra
+//     predicate constant so the per-scan memo misses but the permutation
+//     hits, modelling changing query constants against a shared dataset;
+//   - "materialized": the retired selection-relation architecture, replayed
+//     by hand with the mechanics the deleted selectionAtom lowering used —
+//     group-index the base relation on the predicate column, then TryAdd the
+//     rows of every qualifying group into a fresh selection relation
+//     registered in a cloned database. (Pre-pushdown, a range selection could
+//     only be phrased as a union of per-constant selections, each resolved
+//     through that group index.) The index is rebuilt per query via
+//     relation.GroupBy rather than the relation memo, so every rep measures
+//     the cold first-query cost without polluting the shared dataset's cache;
+//   - "unfiltered": the plain 4-path, for scale.
+//
+// TTF covers everything from query arrival (for "materialized" that includes
+// the copy work — the cost the pushdown deletes). The pushdown and
+// materialized legs must agree on the drained prefix (count and weight sum)
+// before anything is recorded. Series land in BENCH_results.json under
+// "filter1" as "<alg>/<leg>/sel<pct>".
+func filter1() {
+	n := sc(100000)
+	dom := n / 10
+	const k = 1000
+	db := dataset.Uniform(4, n, *seedFlag)
+	base := query.PathQuery(4)
+	// Prewarm the sorted permutation of each filtered column once; it is
+	// predicate-independent and survives across queries.
+	for _, a := range base.Atoms {
+		db.Relation(a.Rel).SortedPerm(0, false)
+	}
+	fmt.Printf("== filter1: predicate pushdown vs materialized selection (4-path, n=%d, top %d) ==\n", n, k)
+	fmt.Printf("%-10s %-14s %5s %13s %13s %12s %12s %8s\n",
+		"algorithm", "leg", "sel", "TTF", "TT(k)", "allocs/op", "bytes/op", "|out|")
+	type measured struct {
+		ttf, total, allocs, bytes, sum float64
+		n                              int
+	}
+	intTerm := func(v int64) query.Term { return query.Term{Kind: query.TermInt, Int: v} }
+	run := func(setup func() (*relation.DB, *query.CQ, error), alg core.Algorithm) (measured, error) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		mallocs, talloc := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		rdb, rq, err := setup()
+		if err != nil {
+			return measured{}, err
+		}
+		it, err := engine.Enumerate[float64](rdb, rq, dioid.Tropical{}, alg,
+			engine.Options{Parallelism: maxInt(1, *parFlag)})
+		if err != nil {
+			return measured{}, err
+		}
+		defer it.Close()
+		var m measured
+		for m.n < k {
+			row, ok := it.Next()
+			if !ok {
+				break
+			}
+			if m.n == 0 {
+				m.ttf = time.Since(start).Seconds()
+			}
+			m.n++
+			m.sum += row.Weight
+		}
+		m.total = time.Since(start).Seconds()
+		if m.n == 0 {
+			m.ttf = m.total // empty output: first "result" is knowing there is none
+		}
+		runtime.ReadMemStats(&ms)
+		ops := float64(maxInt(m.n, 1))
+		m.allocs = float64(ms.Mallocs-mallocs) / ops
+		m.bytes = float64(ms.TotalAlloc-talloc) / ops
+		return m, nil
+	}
+	var series []bench.Series
+	emit := func(alg core.Algorithm, leg string, pct int, m measured) {
+		fmt.Printf("%-10s %-14s %4d%% %12.4fs %12.4fs %12.1f %12.1f %8d\n",
+			alg.String(), leg, pct, m.ttf, m.total, m.allocs, m.bytes, m.n)
+		series = append(series, bench.Series{
+			Algorithm: fmt.Sprintf("%s/%s/sel%d", alg.String(), leg, pct),
+			TTF:       m.ttf, Total: m.n,
+			Points:      []bench.Point{{K: m.n, Seconds: m.total}},
+			AllocsPerOp: m.allocs, BytesPerOp: m.bytes,
+		})
+	}
+	algs := []core.Algorithm{core.Take2, core.Lazy}
+	for _, pct := range []int{1, 10, 50} {
+		c := int64(maxInt(1, dom*pct/100))
+		for ai, alg := range algs {
+			for rep := 0; rep < maxInt(1, *repsFlag); rep++ {
+				// The vacuous != constant sits outside the value domain, so it
+				// rejects nothing but makes the scan-memo key unique per run.
+				tweak := intTerm(int64(dom + 10*rep + ai + 1))
+				atoms := make([]query.Atom, len(base.Atoms))
+				copy(atoms, base.Atoms)
+				for i := range atoms {
+					atoms[i].Preds = []query.Pred{
+						{Col: 0, Op: query.PredLt, Val: intTerm(c)},
+						{Col: 0, Op: query.PredNe, Val: tweak},
+					}
+				}
+				fq := query.NewCQ(fmt.Sprintf("path4f%d", pct), nil, atoms...)
+				push, err := run(func() (*relation.DB, *query.CQ, error) { return db, fq, nil }, alg)
+				if err != nil {
+					fmt.Printf("filter1: %v\n", err)
+					return
+				}
+				mat, err := run(func() (*relation.DB, *query.CQ, error) {
+					mdb := db.Clone()
+					matAtoms := make([]query.Atom, len(fq.Atoms))
+					for i, a := range fq.Atoms {
+						// selectionAtom replay: group the base relation on the
+						// predicate column, then copy the groups of the
+						// qualifying constants (col0 ∈ [0, c), ascending — a
+						// union of per-constant selections) into a selection
+						// relation. The vacuous != tweak rejects nothing and is
+						// elided. TryAdd mirrors the retired lowering's
+						// dedup-on-insert; Uniform data is duplicate-free, so
+						// the copy is lossless and parity holds.
+						src := db.Relation(a.Rel)
+						_, groups, lookup := relation.GroupBy(src, []int{0})
+						flt := relation.New(a.Rel+"#m", src.Attrs...)
+						buf := make([]relation.Value, 0, src.Arity())
+						for v := int64(0); v < c; v++ {
+							g, ok := lookup[relation.Key1(v)]
+							if !ok {
+								continue
+							}
+							for _, j := range groups[g] {
+								buf = src.AppendRow(buf[:0], j)
+								if _, err := flt.TryAdd(src.Weights[j], buf...); err != nil {
+									return nil, nil, err
+								}
+							}
+						}
+						mdb.AddRelation(flt)
+						matAtoms[i] = query.Atom{Rel: flt.Name, Vars: a.Vars}
+					}
+					return mdb, query.NewCQ(fq.Name+"m", nil, matAtoms...), nil
+				}, alg)
+				if err != nil {
+					fmt.Printf("filter1: %v\n", err)
+					return
+				}
+				if push.n != mat.n || math.Abs(push.sum-mat.sum) > 1e-6*math.Max(1, math.Abs(mat.sum)) {
+					fmt.Printf("filter1: OUTPUT MISMATCH pushdown=(%d, Σw=%g) materialized=(%d, Σw=%g)\n",
+						push.n, push.sum, mat.n, mat.sum)
+					return
+				}
+				if rep > 0 {
+					continue // extra reps only churn the memo keys; record rep 0
+				}
+				emit(alg, "pushdown", pct, push)
+				emit(alg, "materialized", pct, mat)
+			}
+		}
+	}
+	for _, alg := range algs {
+		un, err := run(func() (*relation.DB, *query.CQ, error) { return db, base, nil }, alg)
+		if err != nil {
+			fmt.Printf("filter1: %v\n", err)
+			return
+		}
+		emit(alg, "unfiltered", 100, un)
+	}
+	fmt.Println()
+	record("filter1", series)
 }
 
 // datalog1 measures the Datalog front-end on the uniform dataset: a

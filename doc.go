@@ -21,7 +21,14 @@
 //     stratification, bottom-up materialization of non-recursive rules and
 //     semi-naive fixpoints for recursive strata, handing the goal to the
 //     any-k engine for ranked enumeration (anyk -program, the server's
-//     "program" field, examples/datalog)
+//     "program" field, examples/datalog); constants and repeated variables
+//     compile to selection predicates pushed down into the scans
+//   - internal/query + internal/relation — per-atom selection predicates
+//     (comparisons against constants, intra-atom column equality; the
+//     "R(x, y | y > 5)" syntax) answered by filtered access paths instead
+//     of materialized selection relations: filtered row-id scans, filtered
+//     group indexes, and binary-searched sorted-column permutations, all
+//     memoized under canonical predicate signatures
 //   - internal/server — the HTTP query service: resumable ranked-enumeration
 //     sessions (TTL + LRU), dataset management, CSV ingest, admission
 //     control (session and in-flight limits with structured 429s); served

@@ -73,7 +73,7 @@ func Materialize(db *relation.DB, p *Program, d dioid.Dioid[float64]) (*Material
 		}
 		infos = append(infos, info)
 	}
-	lr, err := lowerRule(work, p.Goal, nil)
+	lr, err := lowerRule(work, p.Goal)
 	if err != nil {
 		return nil, err
 	}
@@ -148,11 +148,13 @@ type negCheck struct {
 	isConst []bool
 }
 
-// lowerRule resolves r's body against db. stratum, when non-nil, names the
-// predicates of the recursive stratum being evaluated: constants on those
-// atoms are rejected (their selection relations could not track the moving
-// fixpoint).
-func lowerRule(db *relation.DB, r Rule, stratum map[string]bool) (*loweredRule, error) {
+// lowerRule resolves r's body against db. Constants, repeated variables, and
+// `_` terms lower onto the atom itself as selection predicates / column
+// mappings (see lowerPositive) — pushed down into the scans by the engine, so
+// nothing is materialized or registered. Predicates are compiled eagerly here
+// purely to surface type errors with the rule's line number; the engine
+// recompiles them per relation at plan time (interning is idempotent).
+func lowerRule(db *relation.DB, r Rule) (*loweredRule, error) {
 	lr := &loweredRule{head: r.Head}
 	for _, a := range r.Body {
 		rel := db.Relation(a.Pred)
@@ -170,77 +172,54 @@ func lowerRule(db *relation.DB, r Rule, stratum map[string]bool) (*loweredRule, 
 			lr.neg = append(lr.neg, nc)
 			continue
 		}
-		if !a.hasConstants() {
-			vars := make([]string, len(a.Terms))
-			for i, t := range a.Terms {
-				vars[i] = t.Var
-			}
-			lr.pos = append(lr.pos, query.Atom{Rel: a.Pred, Vars: vars})
-			continue
-		}
-		if stratum[a.Pred] {
-			return nil, fmt.Errorf("line %d: constants on recursive predicate %s are not supported; bind them through a non-recursive rule", a.Line, a.Pred)
-		}
-		qa, err := selectionAtom(db, rel, a)
+		qa, err := lowerPositive(a)
 		if err != nil {
 			return nil, err
+		}
+		if _, err := qa.ScanPreds(rel); err != nil {
+			return nil, fmt.Errorf("line %d: %v", a.Line, err)
 		}
 		lr.pos = append(lr.pos, qa)
 	}
 	return lr, nil
 }
 
-// selectionAtom lowers an atom with constant terms: the constants become a
-// filtered-and-projected "selection relation" registered in db under a
-// deterministic mangled name (shared by every atom with the same predicate
-// and constant pattern), and the atom rewrites to its variable positions.
-func selectionAtom(db *relation.DB, base *relation.Relation, a Atom) (query.Atom, error) {
-	var nameParts []string
-	var constCols, varCols []int
-	var constVals []relation.Value
-	var vars []string
+// lowerPositive rewrites one positive body atom into a query atom: distinct
+// variables bind their columns, a repeated variable becomes an intra-atom
+// column-equality predicate, a constant becomes an equality predicate on its
+// column, and `_` leaves its column unbound and unconstrained. The identity
+// column mapping stays nil so predicate-free atoms render — and cache —
+// exactly as before the predicate layer existed.
+func lowerPositive(a Atom) (query.Atom, error) {
+	qa := query.Atom{Rel: a.Pred}
+	colOf := map[string]int{}
+	var cols []int
 	for i, t := range a.Terms {
-		if t.IsVar() {
-			varCols = append(varCols, i)
-			vars = append(vars, t.Var)
+		if !t.IsVar() {
+			qa.Preds = append(qa.Preds, query.Pred{Col: i, Op: query.PredEq, Val: t})
 			continue
 		}
-		v, err := encodeConst(db, base, i, t, a.Line)
-		if err != nil {
-			return query.Atom{}, err
+		if t.Var == "_" {
+			continue
 		}
-		constCols = append(constCols, i)
-		constVals = append(constVals, v)
-		nameParts = append(nameParts, fmt.Sprintf("%d=%s", i, t))
+		if c, ok := colOf[t.Var]; ok {
+			qa.Preds = append(qa.Preds, query.Pred{Col: c, Op: query.PredColEq, Col2: i})
+			continue
+		}
+		colOf[t.Var] = i
+		qa.Vars = append(qa.Vars, t.Var)
+		cols = append(cols, i)
 	}
-	if len(vars) == 0 {
-		return query.Atom{}, fmt.Errorf("line %d: atom %s has only constants; at least one variable is required", a.Line, a.Pred)
+	if len(qa.Vars) == 0 {
+		return query.Atom{}, fmt.Errorf("line %d: atom %s binds no variables; at least one variable is required", a.Line, a.Pred)
 	}
-	name := a.Pred + "#σ" + strings.Join(nameParts, "&")
-	if db.Relation(name) == nil {
-		attrs := make([]string, len(varCols))
-		types := make([]relation.Type, len(varCols))
-		for j, c := range varCols {
-			attrs[j] = base.Attrs[c]
-			types[j] = base.ColType(c)
+	for i, c := range cols {
+		if c != i {
+			qa.Cols = cols
+			break
 		}
-		sel, err := db.NewDerived(name, attrs, types)
-		if err != nil {
-			return query.Atom{}, fmt.Errorf("line %d: %v", a.Line, err)
-		}
-		idx := base.GroupIndex(constCols)
-		if g, ok := idx.Lookup[relation.MakeKey(constVals)]; ok {
-			row := make([]relation.Value, len(varCols))
-			for _, i := range idx.Groups[g] {
-				base.ProjectInto(row, i, varCols)
-				if _, err := sel.TryAdd(base.Weights[i], row...); err != nil {
-					return query.Atom{}, fmt.Errorf("line %d: %v", a.Line, err)
-				}
-			}
-		}
-		db.AddRelation(sel)
 	}
-	return query.Atom{Rel: name, Vars: vars}, nil
+	return qa, nil
 }
 
 // lowerNegated resolves a negated atom into a membership check.
@@ -402,7 +381,7 @@ func evalNonRecursive(db *relation.DB, p *Program, st Stratum, d dioid.Dioid[flo
 	var rel *relation.Relation
 	for _, ri := range st.Rules {
 		r := p.Rules[ri]
-		lr, err := lowerRule(db, r, nil)
+		lr, err := lowerRule(db, r)
 		if err != nil {
 			return engine.StratumInfo{}, err
 		}
@@ -515,7 +494,7 @@ func evalRecursive(db *relation.DB, p *Program, st Stratum, d dioid.Dioid[float6
 	lowered := make([]*loweredRule, len(st.Rules))
 	occ := make([][]int, len(st.Rules))
 	for k, ri := range st.Rules {
-		lr, err := lowerRule(db, p.Rules[ri], members)
+		lr, err := lowerRule(db, p.Rules[ri])
 		if err != nil {
 			return engine.StratumInfo{}, err
 		}
@@ -599,7 +578,10 @@ func evalRecursive(db *relation.DB, p *Program, st Stratum, d dioid.Dioid[float6
 				}
 				variant := loweredRule{head: lowered[k].head, neg: lowered[k].neg}
 				variant.pos = append([]query.Atom(nil), lowered[k].pos...)
-				variant.pos[j] = query.Atom{Rel: deltaName(pred), Vars: variant.pos[j].Vars}
+				old := variant.pos[j]
+				// The delta relation shares the stratum predicate's schema, so
+				// the atom's column mapping and predicates carry over verbatim.
+				variant.pos[j] = query.Atom{Rel: deltaName(pred), Vars: old.Vars, Cols: old.Cols, Preds: old.Preds}
 				rows, weights, _, err := evalLowered(scratch, &variant, d)
 				if err != nil {
 					return engine.StratumInfo{}, err

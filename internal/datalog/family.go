@@ -33,7 +33,11 @@ func FromCQ(q *query.CQ) (*Program, error) {
 		if i > 0 {
 			sb.WriteString(", ")
 		}
-		fmt.Fprintf(&sb, "%s(%s)", a.Rel, strings.Join(a.Vars, ", "))
+		terms, err := atomTermsSyntax(a)
+		if err != nil {
+			return nil, fmt.Errorf("query %s is not expressible as a program: %v", q.Name, err)
+		}
+		fmt.Fprintf(&sb, "%s(%s)", a.Rel, terms)
 	}
 	sb.WriteString(".")
 	p, err := ParseProgram(sb.String())
@@ -41,6 +45,36 @@ func FromCQ(q *query.CQ) (*Program, error) {
 		return nil, fmt.Errorf("query %s is not expressible as a program: %v", q.Name, err)
 	}
 	return p, nil
+}
+
+// atomTermsSyntax renders a query atom's columns as a program term list:
+// bound variables by name, equality-to-constant predicates as the constant,
+// column-equality predicates as a repeated variable, and unconstrained
+// columns as `_`. Inequality predicates have no program syntax and are
+// rejected (program lowering never produces them, but hand-built CQs can).
+func atomTermsSyntax(a query.Atom) (string, error) {
+	terms := make([]string, a.NumCols())
+	for i := range a.Vars {
+		terms[a.VarCol(i)] = a.Vars[i]
+	}
+	for _, p := range a.Preds {
+		switch {
+		case p.Op == query.PredColEq && terms[p.Col] != "" && terms[p.Col2] == "":
+			terms[p.Col2] = terms[p.Col]
+		case p.Op == query.PredColEq && terms[p.Col] == "" && terms[p.Col2] != "":
+			terms[p.Col] = terms[p.Col2]
+		case p.Op == query.PredEq && terms[p.Col] == "":
+			terms[p.Col] = p.Val.String()
+		default:
+			return "", fmt.Errorf("selection predicate %s on atom %s has no program syntax", p, a.Rel)
+		}
+	}
+	for i, t := range terms {
+		if t == "" {
+			terms[i] = "_"
+		}
+	}
+	return strings.Join(terms, ", "), nil
 }
 
 // ParseFamilyProgram resolves a built-in query-family name (path<l>, star<l>,

@@ -66,7 +66,8 @@ func TestFamilyPrograms(t *testing.T) {
 }
 
 // TestFromCQProjection pins the projected rendering: free variables become a
-// sink-rule head, and repeated variables within an atom stay rejected.
+// sink-rule head, and selection predicates render back into term syntax
+// (constants and repeated variables) where the program grammar has one.
 func TestFromCQProjection(t *testing.T) {
 	q := query.NewCQ("ends", []string{"x", "z"},
 		query.Atom{Rel: "R1", Vars: []string{"x", "y"}},
@@ -78,9 +79,37 @@ func TestFromCQProjection(t *testing.T) {
 	if p.GoalDirective || p.Goal.Head.Pred != "ends" {
 		t.Fatalf("projected goal %+v", p.Goal)
 	}
-	if _, err := datalog.FromCQ(query.NewCQ("self", nil,
-		query.Atom{Rel: "R1", Vars: []string{"x", "x"}})); err == nil ||
-		!strings.Contains(err.Error(), "repeated variable") {
-		t.Fatalf("self-join atom should be rejected, got %v", err)
+	// A column-equality predicate renders as a repeated variable.
+	selfQ, err := query.Parse("q(*) :- R1(x, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := datalog.FromCQ(selfQ)
+	if err != nil {
+		t.Fatalf("self-join atom should render as a repeated variable, got %v", err)
+	}
+	if !strings.Contains(sp.String(), "R1(x,x)") {
+		t.Fatalf("rendered program %q, want R1(x,x)", sp.String())
+	}
+	// Constants and wildcards render too.
+	constQ, err := query.Parse("q(*) :- R1(7, _, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := datalog.FromCQ(constQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cp.String(), "R1(7,_,x)") {
+		t.Fatalf("rendered program %q, want R1(7,_,x)", cp.String())
+	}
+	// Inequality predicates have no program syntax.
+	ltQ, err := query.Parse("q(*) :- R1(x, y | $2 < 5)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := datalog.FromCQ(ltQ); err == nil ||
+		!strings.Contains(err.Error(), "no program syntax") {
+		t.Fatalf("inequality predicate should be rejected, got %v", err)
 	}
 }

@@ -178,6 +178,9 @@ func parseRule(st statement) (Rule, error) {
 		if t.Var == "*" {
 			return Rule{}, fmt.Errorf("line %d: head of %s: '*' is not valid in a program rule head", headLine, name)
 		}
+		if t.Var == "_" {
+			return Rule{}, fmt.Errorf("line %d: head of %s: '_' is not valid in a rule head (every head column needs a name)", headLine, name)
+		}
 		if seen[t.Var] {
 			return Rule{}, fmt.Errorf("line %d: repeated variable %s in head of %s", headLine, t.Var, name)
 		}
@@ -206,7 +209,7 @@ func parseDirective(st statement) (Rule, error) {
 			continue
 		}
 		for _, t := range a.Terms {
-			if t.IsVar() && !seen[t.Var] {
+			if t.IsVar() && t.Var != "_" && !seen[t.Var] {
 				seen[t.Var] = true
 				terms = append(terms, t)
 			}
@@ -263,7 +266,6 @@ func parseBody(text string, startLine int) ([]Atom, error) {
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %v", atomLine, err)
 		}
-		seenVars := map[string]bool{}
 		for _, t := range terms {
 			if !t.IsVar() {
 				continue
@@ -271,10 +273,9 @@ func parseBody(text string, startLine int) ([]Atom, error) {
 			if t.Var == "*" {
 				return nil, fmt.Errorf("line %d: '*' is not valid in a program atom", atomLine)
 			}
-			if seenVars[t.Var] {
-				return nil, fmt.Errorf("line %d: repeated variable %s in atom %s (selection predicates not yet supported)", atomLine, t.Var, name)
+			if negated && t.Var == "_" {
+				return nil, fmt.Errorf("line %d: '_' is not valid in a negated atom (negation matches whole tuples)", atomLine)
 			}
-			seenVars[t.Var] = true
 		}
 		atoms = append(atoms, Atom{Pred: name, Terms: terms, Negated: negated, Line: atomLine})
 		advance(close + 1)

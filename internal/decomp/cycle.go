@@ -122,10 +122,17 @@ func Decompose[W any](d dioid.Dioid[W], db *relation.DB, shape *CycleShape) ([]T
 		if r == nil {
 			return nil, fmt.Errorf("relation %s not in database", name)
 		}
-		if r.Size() > n {
-			n = r.Size()
+		cr, err := orient(r, shape.Q.Atoms[shape.Atoms[i]], shape.Vars[i])
+		if err != nil {
+			return nil, err
 		}
-		rels[i] = orient(r, shape.Q.Atoms[shape.Atoms[i]], shape.Vars[i])
+		// The heavy/light threshold is sized from the *filtered*
+		// cardinalities: predicates shrink the instance the decomposition
+		// actually runs on.
+		if len(cr.rows) > n {
+			n = len(cr.rows)
+		}
+		rels[i] = cr
 	}
 	threshold := math.Pow(float64(n), 2/float64(l))
 	for _, cr := range rels {
@@ -143,29 +150,45 @@ func Decompose[W any](d dioid.Dioid[W], db *relation.DB, shape *CycleShape) ([]T
 	return trees, nil
 }
 
-func orient(r *relation.Relation, a query.Atom, firstVar string) *cycleRel {
-	flip := a.Vars[0] != firstVar
-	cr := &cycleRel{
-		rows:    make([][]relation.Value, r.Size()),
-		weights: append([]float64(nil), r.Weights...),
-		ids:     make([]int64, r.Size()),
-		isHeavy: make([]bool, r.Size()),
+func orient(r *relation.Relation, a query.Atom, firstVar string) (*cycleRel, error) {
+	preds, err := a.ScanPreds(r)
+	if err != nil {
+		return nil, err
 	}
-	c0, c1 := 0, 1
+	flip := a.Vars[0] != firstVar
+	c0, c1 := a.VarCol(0), a.VarCol(1)
 	if flip {
-		c0, c1 = 1, 0
+		c0, c1 = c1, c0
+	}
+	// Qualifying row ids, ascending (nil = every row). Keeping original ids
+	// in cr.ids preserves Lift row identity for tie-breaking dioids.
+	ids := r.FilterScan(preds)
+	n := r.Size()
+	if ids != nil {
+		n = len(ids)
+	}
+	cr := &cycleRel{
+		rows:    make([][]relation.Value, n),
+		weights: make([]float64, n),
+		ids:     make([]int64, n),
+		isHeavy: make([]bool, n),
 	}
 	// One flat backing block for all oriented rows: two column reads per row
 	// off the relation's contiguous blocks, no per-row allocation.
-	flat := make([]relation.Value, 2*r.Size())
+	flat := make([]relation.Value, 2*n)
 	col0, col1 := r.Col(c0), r.Col(c1)
-	for i := 0; i < r.Size(); i++ {
+	for i := 0; i < n; i++ {
+		s := i
+		if ids != nil {
+			s = ids[i]
+		}
 		row := flat[2*i : 2*i+2 : 2*i+2]
-		row[0], row[1] = col0[i], col1[i]
+		row[0], row[1] = col0[s], col1[s]
 		cr.rows[i] = row
-		cr.ids[i] = int64(i)
+		cr.ids[i] = int64(s)
+		cr.weights[i] = r.Weights[s]
 	}
-	return cr
+	return cr, nil
 }
 
 // markHeavy flags tuples whose first-column value occurs at least threshold

@@ -253,7 +253,10 @@ func TestHeavyLightThreshold(t *testing.T) {
 		rel.Add(1, 0, int64(i))
 		rel.Add(1, int64(i), 0)
 	}
-	cr := orient(rel, query.Atom{Rel: "R", Vars: []string{"x1", "x2"}}, "x1")
+	cr, err := orient(rel, query.Atom{Rel: "R", Vars: []string{"x1", "x2"}}, "x1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	markHeavy(cr, 10) // threshold n^(2/4) = 10
 	heavyCount := 0
 	for i := range cr.rows {

@@ -104,6 +104,9 @@ type PlanInfo struct {
 	// Parallelism is the resolved worker count the parallel layer ran with
 	// (0 when the serial path ran).
 	Parallelism int `json:"parallelism,omitempty"`
+	// Predicates is the number of selection predicates pushed down into the
+	// scans across the query's atoms (0 for a pure equi-join).
+	Predicates int `json:"predicates,omitempty"`
 	// Bags describes the GHD join tree (nil on the other routes).
 	Bags []BagInfo `json:"bags,omitempty"`
 	// Strata reports the materialization phases a Datalog program ran before
@@ -314,7 +317,7 @@ func compile[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt Options)
 	return &prepared[W]{
 		trees:   inputs,
 		outVars: q.Vars(),
-		plan:    PlanInfo{Route: "simple-cycle", Width: 2},
+		plan:    PlanInfo{Route: "simple-cycle", Width: 2, Predicates: q.NumPreds()},
 	}, nil
 }
 
@@ -331,10 +334,12 @@ func compileGHD[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], cycErr er
 		return nil, fmt.Errorf("cyclic query %s is not a simple cycle (%v); its GHD fallback plan (width %d, %d bags) failed: %w",
 			q.Name, cycErr, plan.Width, len(plan.Bags), err)
 	}
+	info := ghdPlanInfo(plan, 0)
+	info.Predicates = q.NumPreds()
 	return &prepared[W]{
 		trees:   [][]dpgraph.StageInput[W]{inputs},
 		outVars: q.Vars(),
-		plan:    *ghdPlanInfo(plan, 0),
+		plan:    *info,
 	}, nil
 }
 
@@ -437,7 +442,7 @@ func compileAcyclic[W any](db *relation.DB, q *query.CQ, d dioid.Dioid[W], opt O
 	return &prepared[W]{
 		trees:   [][]dpgraph.StageInput[W]{inputs},
 		outVars: q.FreeVars(),
-		plan:    PlanInfo{Route: "acyclic", Width: 1},
+		plan:    PlanInfo{Route: "acyclic", Width: 1, Predicates: q.NumPreds()},
 	}, nil
 }
 
@@ -471,13 +476,17 @@ func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], min
 			Parent: parent,
 			Prune:  node.Prune,
 		}
+		preds, err := atom.ScanPreds(rel)
+		if err != nil {
+			return nil, err
+		}
 		projected := len(node.Vars) < len(atom.Vars)
 		cols := make([]int, len(node.Vars))
 		for i, v := range node.Vars {
 			c := -1
 			for j, av := range atom.Vars {
 				if av == v {
-					c = j
+					c = atom.VarCol(j)
 					break
 				}
 			}
@@ -487,29 +496,37 @@ func stageInputs[W any](db *relation.DB, plan *query.Plan, d dioid.Dioid[W], min
 			cols[i] = c
 		}
 		switch {
-		case projected:
-			// Distinct projections with neutral weight, read off the
-			// relation's cached hash index (one row per group) instead of
-			// rescanning and re-deduplicating all rows per session.
-			idx := rel.GroupIndex(cols)
-			in.Rows = flatProject(rel, cols, len(idx.Groups), func(g int) int { return idx.Groups[g][0] })
-			in.Weights = make([]W, len(idx.Groups))
-			for g := range idx.Groups {
-				in.Weights[g] = d.One()
-			}
-		case minWeightQuery && !node.Prune:
-			// Pure connex node: one row per index group, weights Plus-folded
-			// over the group's members in row order (the same fold order the
-			// scan produced, so tie-breaking dioids agree).
-			idx := rel.GroupIndex(cols)
+		case projected || (minWeightQuery && !node.Prune):
+			// One row per index group, read off the relation's cached
+			// (predicate-aware) hash index instead of rescanning and
+			// re-deduplicating all rows per session. Projected nodes carry
+			// neutral weights (their real weights arrive from the pruned
+			// originals, Thm 20); pure connex nodes Plus-fold the group's
+			// weights in row order — the same fold order a filtered scan
+			// produces, so tie-breaking dioids agree.
+			idx := rel.FilteredGroupIndex(cols, preds)
 			in.Rows = flatProject(rel, cols, len(idx.Groups), func(g int) int { return idx.Groups[g][0] })
 			in.Weights = make([]W, len(idx.Groups))
 			for g, members := range idx.Groups {
+				if projected {
+					in.Weights[g] = d.One()
+					continue
+				}
 				w := d.Lift(rel.Weights[members[0]], node.Atom, int64(members[0]))
 				for _, r := range members[1:] {
 					w = d.Plus(w, d.Lift(rel.Weights[r], node.Atom, int64(r)))
 				}
 				in.Weights[g] = w
+			}
+		case len(preds) > 0:
+			// Filtered full node: the scan yields qualifying row ids in
+			// ascending order, so stage rows (and their Lift row ids) are
+			// exactly those of a pre-materialized filtered copy.
+			ids := rel.FilterScan(preds)
+			in.Rows = flatProject(rel, cols, len(ids), func(i int) int { return ids[i] })
+			in.Weights = make([]W, len(ids))
+			for i, r := range ids {
+				in.Weights[i] = d.Lift(rel.Weights[r], node.Atom, int64(r))
 			}
 		default:
 			in.Rows = flatProject(rel, cols, rel.Size(), func(r int) int { return r })

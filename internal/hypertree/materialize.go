@@ -66,11 +66,21 @@ func materializeBag[W any](d dioid.Dioid[W], db *relation.DB, q *query.CQ, bagId
 		// split apart inside the sub-database.
 		name := fmt.Sprintf("a%d", ai)
 		if assigned[ai] {
+			// Aliased relations share the original's dictionary and memo, so
+			// the atom's predicates push down into the generic-join tries.
 			subDB.Alias(name, rel)
+			subAtoms[k] = query.Atom{Rel: name, Vars: a.Vars, Cols: a.Cols, Preds: a.Preds}
 		} else {
-			subDB.AddRelation(distinctRelation(name, rel))
+			// Verification-only atoms deduplicate *after* filtering; the
+			// sub-atom keeps its column mapping but drops the predicates,
+			// already applied to the copy.
+			preds, err := a.ScanPreds(rel)
+			if err != nil {
+				return in, err
+			}
+			subDB.AddRelation(distinctRelation(name, rel, preds))
+			subAtoms[k] = query.Atom{Rel: name, Vars: a.Vars, Cols: a.Cols}
 		}
-		subAtoms[k] = query.Atom{Rel: name, Vars: a.Vars}
 	}
 	subQ := query.NewCQ(in.Name, nil, subAtoms...)
 	subVars := subQ.Vars()
@@ -173,14 +183,24 @@ func containsInt(xs []int, x int) bool {
 	return false
 }
 
-// distinctRelation copies r keeping each distinct row once with weight 0:
-// the set-semantics shape verification-only atoms take inside a bag join.
-func distinctRelation(name string, r *relation.Relation) *relation.Relation {
+// distinctRelation copies the rows of r satisfying preds, keeping each
+// distinct row once with weight 0: the set-semantics shape verification-only
+// atoms take inside a bag join.
+func distinctRelation(name string, r *relation.Relation, preds []relation.ScanPred) *relation.Relation {
 	out := relation.New(name, r.Attrs...)
-	seen := make(map[relation.Key]bool, r.Size())
+	ids := r.FilterScan(preds)
+	n := r.Size()
+	if ids != nil {
+		n = len(ids)
+	}
+	seen := make(map[relation.Key]bool, n)
 	buf := make([]relation.Value, r.Arity())
-	for i := 0; i < r.Size(); i++ {
-		buf = r.AppendRow(buf[:0], i)
+	for i := 0; i < n; i++ {
+		s := i
+		if ids != nil {
+			s = ids[i]
+		}
+		buf = r.AppendRow(buf[:0], s)
 		k := relation.MakeKey(buf)
 		if seen[k] {
 			continue

@@ -26,8 +26,8 @@ func TestProbeLookupAllocs(t *testing.T) {
 	vals := []relation.Value{3, 2, 40}
 	pos := []int{0, 1}
 
-	single := buildProbeIndex(r, []int{0})
-	multi := buildProbeIndex(r, []int{0, 1})
+	single := buildProbeIndex(r, []int{0}, nil)
+	multi := buildProbeIndex(r, []int{0, 1}, nil)
 
 	hits := 0
 	perProbe := testing.AllocsPerRun(1000, func() {

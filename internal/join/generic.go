@@ -50,15 +50,27 @@ func newTrie(depth int) *trie { return &trie{depth: depth, children: map[relatio
 // atoms, GHD bags sharing a cover relation, or back-to-back sessions on one
 // dataset — reuse one build. The memo is invalidated when the relation
 // mutates (see relation.Memo).
-func atomTrie(r *relation.Relation, order []int) *trie {
+func atomTrie(r *relation.Relation, order []int, preds []relation.ScanPred) *trie {
 	sig := "join.trie"
+	if ps := relation.PredSig(preds); ps != "" {
+		sig += ":" + ps
+	}
 	for _, c := range order {
 		sig += ":" + strconv.Itoa(c)
 	}
 	return r.Memo(sig, func() any {
 		root := newTrie(0)
 		buf := make([]relation.Value, len(order))
-		for rIdx := 0; rIdx < r.Size(); rIdx++ {
+		ids := r.FilterScan(preds)
+		n := r.Size()
+		if ids != nil {
+			n = len(ids)
+		}
+		for i := 0; i < n; i++ {
+			rIdx := i
+			if ids != nil {
+				rIdx = ids[i]
+			}
 			r.ProjectInto(buf, rIdx, order)
 			root.insert(buf, r.Weights[rIdx], rIdx)
 		}
@@ -132,14 +144,25 @@ func GenericJoinWitness(db *relation.DB, q *query.CQ, emit func(vals []relation.
 		if r == nil {
 			return fmt.Errorf("relation %s not found", a.Rel)
 		}
+		// order holds the atom's variable *indices* sorted by global variable
+		// order; trieCols maps them onto relation columns (distinct from the
+		// indices once constants, `_`, or repeats shift the layout).
 		order := make([]int, len(a.Vars))
 		for j := range order {
 			order[j] = j
 		}
 		sort.Slice(order, func(x, y int) bool { return varPos[a.Vars[order[x]]] < varPos[a.Vars[order[y]]] })
-		atoms[i] = gjAtom{root: atomTrie(r, order), nextVarAt: make([]int, len(vars)), arity: len(a.Vars)}
-		for d, c := range order {
-			atoms[i].nextVarAt[varPos[a.Vars[c]]] = d + 1
+		trieCols := make([]int, len(order))
+		for d, vi := range order {
+			trieCols[d] = a.VarCol(vi)
+		}
+		preds, err := a.ScanPreds(r)
+		if err != nil {
+			return err
+		}
+		atoms[i] = gjAtom{root: atomTrie(r, trieCols, preds), nextVarAt: make([]int, len(vars)), arity: len(a.Vars)}
+		for d, vi := range order {
+			atoms[i].nextVarAt[varPos[a.Vars[vi]]] = d + 1
 		}
 	}
 	nodes := make([]*trie, len(atoms))

@@ -19,23 +19,34 @@ type probeIndex struct {
 	scratch []byte
 }
 
-// buildProbeIndex indexes r on cols.
-func buildProbeIndex(r *relation.Relation, cols []int) *probeIndex {
+// buildProbeIndex indexes r on cols, restricted to the given row ids (nil =
+// every row).
+func buildProbeIndex(r *relation.Relation, cols []int, ids []int) *probeIndex {
 	n := r.Size()
+	if ids != nil {
+		n = len(ids)
+	}
+	src := func(i int) int { return i }
+	if ids != nil {
+		src = func(i int) int { return ids[i] }
+	}
 	pi := &probeIndex{}
 	if len(cols) == 1 {
 		pi.one = make(map[relation.Value][]int, n)
-		for i, v := range r.Col(cols[0]) {
-			pi.one[v] = append(pi.one[v], i)
+		col := r.Col(cols[0])
+		for i := 0; i < n; i++ {
+			s := src(i)
+			pi.one[col[s]] = append(pi.one[col[s]], s)
 		}
 		return pi
 	}
 	pi.slot = make(map[string]int, n)
 	pi.scratch = make([]byte, 0, len(cols)*8)
 	for i := 0; i < n; i++ {
+		row := src(i)
 		b := pi.scratch[:0]
 		for _, c := range cols {
-			b = relation.AppendKeyBytes(b, r.At(i, c))
+			b = relation.AppendKeyBytes(b, r.At(row, c))
 		}
 		pi.scratch = b
 		s, ok := pi.slot[string(b)]
@@ -44,7 +55,7 @@ func buildProbeIndex(r *relation.Relation, cols []int) *probeIndex {
 			pi.slot[string(b)] = s
 			pi.rows = append(pi.rows, nil)
 		}
-		pi.rows[s] = append(pi.rows[s], i)
+		pi.rows[s] = append(pi.rows[s], row)
 	}
 	return pi
 }
@@ -91,6 +102,11 @@ func HashJoinPlan(db *relation.DB, q *query.CQ) ([]Result, error) {
 		if r == nil {
 			return nil, fmt.Errorf("relation %s not found", a.Rel)
 		}
+		preds, err := a.ScanPreds(r)
+		if err != nil {
+			return nil, err
+		}
+		ids := r.FilterScan(preds) // nil = every row
 		cols := make([]int, len(a.Vars))
 		shared := make([]bool, len(a.Vars))
 		for j, v := range a.Vars {
@@ -98,33 +114,44 @@ func HashJoinPlan(db *relation.DB, q *query.CQ) ([]Result, error) {
 			shared[j] = bound[cols[j]]
 		}
 		if ai == 0 {
-			cur = make([]inter, 0, r.Size())
-			for i := 0; i < r.Size(); i++ {
-				t := inter{vals: make([]relation.Value, len(vars)), w: r.Weights[i]}
+			n := r.Size()
+			if ids != nil {
+				n = len(ids)
+			}
+			cur = make([]inter, 0, n)
+			for i := 0; i < n; i++ {
+				row := i
+				if ids != nil {
+					row = ids[i]
+				}
+				t := inter{vals: make([]relation.Value, len(vars)), w: r.Weights[row]}
 				for j, c := range cols {
-					t.vals[c] = r.At(i, j)
+					t.vals[c] = r.At(row, a.VarCol(j))
 				}
 				cur = append(cur, t)
 			}
 		} else {
-			// Build hash on the atom's shared columns, probe intermediates.
+			// Build hash on the atom's shared columns (over the filtered rows
+			// only), probe intermediates.
 			var sharedAtomCols []int
 			for j := range a.Vars {
 				if shared[j] {
-					sharedAtomCols = append(sharedAtomCols, j)
+					sharedAtomCols = append(sharedAtomCols, a.VarCol(j))
 				}
 			}
-			idx := buildProbeIndex(r, sharedAtomCols)
-			probePos := make([]int, len(sharedAtomCols))
-			for i, j := range sharedAtomCols {
-				probePos[i] = cols[j]
+			var probePos []int
+			for j := range a.Vars {
+				if shared[j] {
+					probePos = append(probePos, cols[j])
+				}
 			}
+			idx := buildProbeIndex(r, sharedAtomCols, ids)
 			next := make([]inter, 0, len(cur))
 			for _, t := range cur {
 				for _, ri := range idx.lookup(t.vals, probePos) {
 					nt := inter{vals: append([]relation.Value(nil), t.vals...), w: t.w + r.Weights[ri]}
 					for j, c := range cols {
-						nt.vals[c] = r.At(ri, j)
+						nt.vals[c] = r.At(ri, a.VarCol(j))
 					}
 					next = append(next, nt)
 				}
@@ -170,14 +197,20 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		if r == nil {
 			return nil, fmt.Errorf("relation %s not found", a.Rel)
 		}
+		preds, err := a.ScanPreds(r)
+		if err != nil {
+			return nil, err
+		}
 		nd := &node{rel: r, keep: make([]bool, r.Size())}
+		// Predicates seed the semi-join reduction: non-qualifying rows start
+		// dead, exactly as if the relation had been pre-filtered.
 		for j := range nd.keep {
-			nd.keep[j] = true
+			nd.keep[j] = r.MatchRow(j, preds)
 		}
 		if p := t.Parent[i]; p >= 0 {
 			jv := t.JoinVars(i)
-			nd.joinC = colsIn(a.Vars, jv)
-			nd.parentC = colsIn(q.Atoms[p].Vars, jv)
+			nd.joinC = atomCols(a, jv)
+			nd.parentC = atomCols(q.Atoms[p], jv)
 		}
 		nodes[i] = nd
 	}
@@ -266,7 +299,7 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 		for _, j := range cands {
 			chosen[i] = j
 			for c, v := range q.Atoms[i].Vars {
-				assignment[varPos[v]] = nd.rel.At(j, c)
+				assignment[varPos[v]] = nd.rel.At(j, q.Atoms[i].VarCol(c))
 			}
 			rec(oi+1, w+nd.rel.Weights[j])
 		}
@@ -275,12 +308,13 @@ func Yannakakis(db *relation.DB, q *query.CQ) ([]Result, error) {
 	return out, nil
 }
 
-func colsIn(vars []string, want []string) []int {
+// atomCols returns the relation columns of a bound to the wanted variables.
+func atomCols(a query.Atom, want []string) []int {
 	cols := make([]int, 0, len(want))
 	for _, w := range want {
-		for i, v := range vars {
+		for i, v := range a.Vars {
 			if v == w {
-				cols = append(cols, i)
+				cols = append(cols, a.VarCol(i))
 				break
 			}
 		}

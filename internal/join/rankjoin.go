@@ -45,14 +45,21 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 		if rels[i] == nil {
 			return nil, stats, fmt.Errorf("relation %s not found", a.Rel)
 		}
+		if len(a.Preds) > 0 {
+			// Sorted access interleaves with joining here; a filtered sorted
+			// order would need its own access path. The baseline exists for
+			// the Section 9.1.3 comparison on unfiltered chains, so predicates
+			// are out of scope rather than silently ignored.
+			return nil, stats, fmt.Errorf("rank join baseline does not support selection predicates (atom %s)", a)
+		}
 		leftCol[i], rightCol[i] = -1, -1
 		if i > 0 {
 			sv := query.Intersect(a.Vars, q.Atoms[i-1].Vars)
 			if len(sv) != 1 {
 				return nil, stats, fmt.Errorf("atoms %d,%d do not chain on one variable", i-1, i)
 			}
-			leftCol[i] = colsIn(a.Vars, sv)[0]
-			rightCol[i-1] = colsIn(q.Atoms[i-1].Vars, sv)[0]
+			leftCol[i] = atomCols(a, sv)[0]
+			rightCol[i-1] = atomCols(q.Atoms[i-1], sv)[0]
 		}
 	}
 	// Sorted access order per relation.
@@ -144,7 +151,7 @@ func RankJoin(db *relation.DB, q *query.CQ, k int) ([]Result, RankJoinStats, err
 			for ai, row := range part {
 				w += rels[ai].Weights[row]
 				for c, v := range q.Atoms[ai].Vars {
-					valsOut[varPos[v]] = rels[ai].At(row, c)
+					valsOut[varPos[v]] = rels[ai].At(row, q.Atoms[ai].VarCol(c))
 				}
 			}
 			buf.Push(Result{Vals: valsOut, Weight: w})

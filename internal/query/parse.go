@@ -44,7 +44,15 @@ func (t Term) String() string {
 	case TermInt:
 		return strconv.FormatInt(t.Int, 10)
 	case TermFloat:
-		return strconv.FormatFloat(t.Float, 'g', -1, 64)
+		s := strconv.FormatFloat(t.Float, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			// Keep the rendering parseable as a float: "100.0" must not
+			// round-trip into the integer term "100" — the two carry
+			// different typing rules against int64 columns, and plan-cache
+			// keys built from rendered queries must stay injective.
+			s += ".0"
+		}
+		return s
 	default:
 		return t.Var
 	}
@@ -57,9 +65,21 @@ func (t Term) String() string {
 // The head lists the free variables; `Q(*)` (or repeating every variable)
 // makes the query full. Identifiers are letters/digits/underscores starting
 // with a letter. Whitespace is insignificant; a trailing period is allowed.
-// Constants and repeated variables inside one atom are rejected — a CQ atom
-// is a pure equi-join pattern; selections belong to the Datalog program
-// layer.
+//
+// Body atoms may carry selection predicates, lowered onto Atom.Preds and
+// pushed down to the scan by the engine:
+//
+//   - an explicit predicate list after `|`, as in `R(x,y | y > 5, x != 2)`:
+//     each predicate compares a column (named by a bound variable, or by
+//     1-based position `$N`) against a constant with = != < <= > >=, or
+//     against another column with `=`;
+//   - a constant in a term position, as in `R(x,7)`, shorthand for an
+//     equality predicate on that column;
+//   - a repeated variable, as in `R(x,x)`, lowered to an intra-atom
+//     column-equality predicate;
+//   - `_` in a term position leaves that column unbound and unconstrained.
+//
+// Every body atom must bind at least one variable.
 func Parse(s string) (*CQ, error) {
 	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "."))
 	head, body, ok := strings.Cut(s, ":-")
@@ -70,6 +90,11 @@ func Parse(s string) (*CQ, error) {
 	if err != nil {
 		return nil, fmt.Errorf("head: %w", err)
 	}
+	for _, v := range headVars {
+		if v == "_" {
+			return nil, fmt.Errorf("head: '_' cannot be a free variable")
+		}
+	}
 	var atoms []Atom
 	rest := strings.TrimSpace(body)
 	for len(rest) > 0 {
@@ -77,18 +102,11 @@ func Parse(s string) (*CQ, error) {
 		if close < 0 {
 			return nil, fmt.Errorf("body: unterminated atom in %q", rest)
 		}
-		rel, vars, err := parseAtom(rest[:close+1])
+		a, err := ParseBodyAtom(rest[:close+1])
 		if err != nil {
 			return nil, fmt.Errorf("body: %w", err)
 		}
-		seen := map[string]bool{}
-		for _, v := range vars {
-			if seen[v] {
-				return nil, fmt.Errorf("repeated variable %s in atom %s (selection predicates not yet supported)", v, rel)
-			}
-			seen[v] = true
-		}
-		atoms = append(atoms, Atom{Rel: rel, Vars: vars})
+		atoms = append(atoms, a)
 		rest = strings.TrimSpace(rest[close+1:])
 		if strings.HasPrefix(rest, ",") {
 			rest = strings.TrimSpace(rest[1:])
@@ -139,8 +157,8 @@ func closeParen(s string) int {
 	return -1
 }
 
-// parseAtom reads `Name(v1,v2,...)` where every term must be a variable
-// (constants are Datalog-layer territory).
+// parseAtom reads `Name(v1,v2,...)` where every term must be a variable —
+// the head grammar (constants and predicates belong to body atoms).
 func parseAtom(s string) (name string, vars []string, err error) {
 	name, terms, err := ParseAtomTerms(s)
 	if err != nil {
@@ -149,11 +167,228 @@ func parseAtom(s string) (name string, vars []string, err error) {
 	vars = make([]string, len(terms))
 	for i, t := range terms {
 		if !t.IsVar() {
-			return "", nil, fmt.Errorf("constant %s in atom %s: constants are only supported in Datalog programs", t, name)
+			return "", nil, fmt.Errorf("constant %s in atom %s: constants are not allowed here", t, name)
 		}
 		vars[i] = t.Var
 	}
 	return name, vars, nil
+}
+
+// ParseBodyAtom reads one CQ body atom — `Name(t1,...,tk)` optionally
+// followed by ` | p1,...,pm` inside the parentheses — and lowers constants,
+// repeated variables, and explicit predicates onto Atom.Preds (see Parse for
+// the grammar). Exported for the Datalog layer, which shares the lowering.
+func ParseBodyAtom(s string) (Atom, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open <= 0 || !strings.HasSuffix(s, ")") {
+		return Atom{}, fmt.Errorf("malformed atom %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !ident(name) {
+		return Atom{}, fmt.Errorf("bad relation name %q", name)
+	}
+	inner := s[open+1 : len(s)-1]
+	termPart, predPart, hasPreds := cutUnquoted(inner, '|')
+	terms, err := scanTerms(name, termPart)
+	if err != nil {
+		return Atom{}, err
+	}
+	a, colOf, err := atomFromTerms(name, terms)
+	if err != nil {
+		return Atom{}, err
+	}
+	if hasPreds {
+		if strings.TrimSpace(predPart) == "" {
+			return Atom{}, fmt.Errorf("atom %s: empty predicate list after '|'", name)
+		}
+		for _, expr := range splitUnquoted(predPart, ',') {
+			p, err := parsePredExpr(name, expr, colOf, len(terms))
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Preds = append(a.Preds, p)
+		}
+	}
+	return a, nil
+}
+
+// atomFromTerms lowers an atom's term list: distinct variables bind columns,
+// repeated variables become column-equality predicates, constants become
+// equality predicates, `_` skips its column. colOf maps each variable to the
+// (first) column it binds, for resolving predicate references.
+func atomFromTerms(name string, terms []Term) (Atom, map[string]int, error) {
+	a := Atom{Rel: name}
+	colOf := map[string]int{}
+	var cols []int
+	for i, t := range terms {
+		if !t.IsVar() {
+			a.Preds = append(a.Preds, Pred{Col: i, Op: PredEq, Val: t})
+			continue
+		}
+		switch t.Var {
+		case "*":
+			return Atom{}, nil, fmt.Errorf("atom %s: '*' is only valid as the sole head term", name)
+		case "_":
+			continue
+		}
+		if c, ok := colOf[t.Var]; ok {
+			a.Preds = append(a.Preds, Pred{Col: c, Op: PredColEq, Col2: i})
+			continue
+		}
+		colOf[t.Var] = i
+		a.Vars = append(a.Vars, t.Var)
+		cols = append(cols, i)
+	}
+	if len(a.Vars) == 0 {
+		return Atom{}, nil, fmt.Errorf("atom %s binds no variables", name)
+	}
+	identity := true
+	for i, c := range cols {
+		if c != i {
+			identity = false
+			break
+		}
+	}
+	if !identity {
+		a.Cols = cols
+	}
+	return a, colOf, nil
+}
+
+// parsePredExpr reads one predicate expression `ref op operand`: ref is a
+// bound variable name or a 1-based `$N` column reference; operand is a
+// constant, or (for `=`) another column reference.
+func parsePredExpr(name, expr string, colOf map[string]int, ncols int) (Pred, error) {
+	s := strings.TrimSpace(expr)
+	i := strings.IndexAny(s, "<>=!")
+	if i < 0 {
+		return Pred{}, fmt.Errorf("atom %s: predicate %q: missing comparison operator", name, s)
+	}
+	var op PredOp
+	rest := ""
+	switch s[i] {
+	case '<':
+		op = PredLt
+		rest = s[i+1:]
+		if strings.HasPrefix(rest, "=") {
+			op, rest = PredLe, rest[1:]
+		}
+	case '>':
+		op = PredGt
+		rest = s[i+1:]
+		if strings.HasPrefix(rest, "=") {
+			op, rest = PredGe, rest[1:]
+		}
+	case '=':
+		op = PredEq
+		rest = strings.TrimPrefix(s[i+1:], "=")
+	case '!':
+		if i+1 >= len(s) || s[i+1] != '=' {
+			return Pred{}, fmt.Errorf("atom %s: predicate %q: bad operator", name, s)
+		}
+		op = PredNe
+		rest = s[i+2:]
+	}
+	col, err := predRef(name, strings.TrimSpace(s[:i]), colOf, ncols)
+	if err != nil {
+		return Pred{}, err
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return Pred{}, fmt.Errorf("atom %s: predicate %q: missing right-hand side", name, s)
+	}
+	if rest[0] == '$' || ident(rest) {
+		col2, err := predRef(name, rest, colOf, ncols)
+		if err != nil {
+			return Pred{}, err
+		}
+		if op != PredEq {
+			return Pred{}, fmt.Errorf("atom %s: predicate %q: column-to-column comparison supports '=' only", name, s)
+		}
+		if col == col2 {
+			return Pred{}, fmt.Errorf("atom %s: predicate %q compares column $%d with itself", name, s, col+1)
+		}
+		if col > col2 {
+			col, col2 = col2, col
+		}
+		return Pred{Col: col, Op: PredColEq, Col2: col2}, nil
+	}
+	var val Term
+	if rest[0] == '"' {
+		str, next, err := scanString(name, rest, 0)
+		if err != nil {
+			return Pred{}, err
+		}
+		if strings.TrimSpace(rest[next:]) != "" {
+			return Pred{}, fmt.Errorf("atom %s: predicate %q: trailing %q after string constant", name, s, rest[next:])
+		}
+		val = Term{Kind: TermString, Str: str}
+	} else {
+		val, err = bareTerm(name, rest)
+		if err != nil {
+			return Pred{}, err
+		}
+		if val.IsVar() {
+			return Pred{}, fmt.Errorf("atom %s: predicate %q: bad operand %q", name, s, rest)
+		}
+	}
+	return Pred{Col: col, Op: op, Val: val}, nil
+}
+
+// predRef resolves a predicate's column reference: a bound variable name or
+// a 1-based `$N` position within the atom's written terms.
+func predRef(name, ref string, colOf map[string]int, ncols int) (int, error) {
+	if strings.HasPrefix(ref, "$") {
+		n, err := strconv.Atoi(ref[1:])
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("atom %s: bad column reference %q", name, ref)
+		}
+		if n > ncols {
+			return 0, fmt.Errorf("atom %s: column reference $%d exceeds the atom's %d terms", name, n, ncols)
+		}
+		return n - 1, nil
+	}
+	if ref == "_" {
+		return 0, fmt.Errorf("atom %s: '_' cannot be referenced in a predicate; use $N", name)
+	}
+	if !ident(ref) {
+		return 0, fmt.Errorf("atom %s: bad column reference %q", name, ref)
+	}
+	c, ok := colOf[ref]
+	if !ok {
+		return 0, fmt.Errorf("atom %s: predicate references unbound variable %s", name, ref)
+	}
+	return c, nil
+}
+
+// cutUnquoted splits s at the first sep outside double-quoted strings.
+func cutUnquoted(s string, sep byte) (before, after string, found bool) {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case inStr && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inStr = !inStr
+		case !inStr && s[i] == sep:
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// splitUnquoted splits s on sep outside double-quoted strings.
+func splitUnquoted(s string, sep byte) []string {
+	var out []string
+	for {
+		before, after, found := cutUnquoted(s, sep)
+		out = append(out, before)
+		if !found {
+			return out
+		}
+		s = after
+	}
 }
 
 // ParseAtomTerms reads one atom `Name(t1,t2,...)` of the shared grammar,

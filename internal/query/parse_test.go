@@ -74,54 +74,58 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-// TestParseRepeatedVariable pins the satellite fix: a variable repeated
-// inside one atom used to be accepted silently (the engine then treated the
-// positions as independent), and must now be rejected with a message that
-// names the variable, the atom, and the missing feature.
+// TestParseRepeatedVariable pins the repeated-variable lowering: a variable
+// repeated inside one atom (rejected outright before the predicate layer)
+// now binds its first column and turns every later occurrence into an
+// intra-atom column-equality predicate.
 func TestParseRepeatedVariable(t *testing.T) {
 	cases := []struct {
 		in   string
-		want string // "" = must parse
+		want string // the canonical rendering after lowering
 	}{
-		{"Q(*) :- R(x,x)", "repeated variable x in atom R (selection predicates not yet supported)"},
-		{"Q(*) :- R(x,y), S(y,y)", "repeated variable y in atom S (selection predicates not yet supported)"},
-		{"Q(*) :- R(a,b,a)", "repeated variable a in atom R (selection predicates not yet supported)"},
-		{"Q(x,y) :- R(x,y), S(y,x)", ""},   // cross-atom repetition is a join, fine
-		{"Q(x) :- R(x,y), S(x,z)", ""},     // same var across atoms, fine
-		{"Q(x,x) :- R(x,y)", ""},           // head repetition selects columns, not rows
-		{"Q(*) :- R(x_1,x_2), S(x_2)", ""}, // underscored idents are distinct vars
+		{"Q(*) :- R(x,x)", "Q(x) :- R(x,_ | $1=$2)"},
+		{"Q(*) :- R(x,y), S(y,y)", "Q(x,y) :- R(x,y), S(y,_ | $1=$2)"},
+		{"Q(*) :- R(a,b,a)", "Q(a,b) :- R(a,b,_ | $1=$3)"},
+		{"Q(x,y) :- R(x,y), S(y,x)", "Q(x,y) :- R(x,y), S(y,x)"}, // cross-atom repetition is a join
+		{"Q(*) :- R(x_1,x_2), S(x_2)", "Q(x_1,x_2) :- R(x_1,x_2), S(x_2)"},
 	}
 	for _, c := range cases {
 		q, err := Parse(c.in)
-		if c.want == "" {
-			if err != nil {
-				t.Errorf("Parse(%q): unexpected error %v", c.in, err)
-			}
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.in, err)
 			continue
 		}
-		if err == nil {
-			t.Errorf("Parse(%q) succeeded with %s, want error %q", c.in, q, c.want)
-			continue
-		}
-		if err.Error() != c.want {
-			t.Errorf("Parse(%q) error = %q, want %q", c.in, err, c.want)
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
 		}
 	}
 }
 
-// TestParseRejectsConstants pins the split of labor with the Datalog layer:
-// the shared atom grammar reads constants, but a plain CQ rejects them with
-// a pointer at the program front-end.
-func TestParseRejectsConstants(t *testing.T) {
-	for _, s := range []string{
-		`Q(*) :- R(x,"paper")`,
-		"Q(*) :- R(x,42)",
-		"Q(*) :- R(x,2.5), S(x)",
-	} {
-		_, err := Parse(s)
-		if err == nil {
-			t.Errorf("Parse(%q) succeeded, want constant rejection", s)
+// TestParseConstants pins the constant lowering: a constant in a term
+// position is shorthand for an equality predicate on that column, uniform
+// with the Datalog front-end.
+func TestParseConstants(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`Q(*) :- R(x,"paper")`, `Q(x) :- R(x,_ | $2="paper")`},
+		{"Q(*) :- R(x,42)", "Q(x) :- R(x,_ | $2=42)"},
+		{"Q(*) :- R(x,2.5), S(x)", "Q(x) :- R(x,_ | $2=2.5), S(x)"},
+		{"Q(*) :- R(7,x)", "Q(x) :- R(_,x | $1=7)"},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): unexpected error %v", c.in, err)
+			continue
 		}
+		if got := q.String(); got != c.want {
+			t.Errorf("Parse(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	// An atom of constants only binds nothing and cannot join.
+	if _, err := Parse("Q(*) :- R(1,2)"); err == nil {
+		t.Error("Parse of all-constant atom succeeded, want error")
 	}
 }
 

@@ -1,0 +1,274 @@
+package query
+
+// Selection predicates. An atom may carry per-column predicates — written
+// `R(x,y | y > 5)` in the CQ syntax, or implied by constants and repeated
+// variables in Datalog atoms — that restrict which rows of the relation
+// participate in the join. Predicates stay *logical* here: a column position,
+// an operator, and a constant Term. Encoding against a concrete relation's
+// column types and dictionary happens in Atom.ScanPreds at plan-compile time,
+// so the same parsed query can be validated against any database and type
+// errors surface with the relation's schema in the message.
+
+import (
+	"fmt"
+	"strings"
+
+	"anyk/internal/relation"
+)
+
+// PredOp enumerates the selection-predicate comparison operators.
+type PredOp int
+
+const (
+	// PredEq compares a column against a constant for equality.
+	PredEq PredOp = iota
+	// PredNe compares a column against a constant for inequality.
+	PredNe
+	// PredLt, PredLe, PredGt, PredGe order a column against a constant.
+	// Supported over int64 and float64 columns only: string dictionary
+	// codes are dense intern ids, not order-preserving.
+	PredLt
+	PredLe
+	PredGt
+	PredGe
+	// PredColEq compares two columns of the same atom for equality — the
+	// lowered form of a repeated variable, as in R(x,x).
+	PredColEq
+)
+
+func (op PredOp) String() string {
+	switch op {
+	case PredEq, PredColEq:
+		return "="
+	case PredNe:
+		return "!="
+	case PredLt:
+		return "<"
+	case PredLe:
+		return "<="
+	case PredGt:
+		return ">"
+	case PredGe:
+		return ">="
+	}
+	return fmt.Sprintf("PredOp(%d)", int(op))
+}
+
+// Pred is one selection predicate on an atom: relation column Col compared
+// against constant Val, or against column Col2 when Op is PredColEq (with
+// Col < Col2 canonically). Column positions are 0-based physical positions
+// in the atom's relation, independent of which columns bind variables.
+type Pred struct {
+	Col  int
+	Op   PredOp
+	Val  Term
+	Col2 int
+}
+
+// String renders the predicate with 1-based $N column references, matching
+// the parseable syntax: `$2>5`, `$1=$3`, `$1="paper"`.
+func (p Pred) String() string {
+	if p.Op == PredColEq {
+		return fmt.Sprintf("$%d=$%d", p.Col+1, p.Col2+1)
+	}
+	return fmt.Sprintf("$%d%s%s", p.Col+1, p.Op, p.Val)
+}
+
+// VarCol returns the relation column bound by the atom's i-th variable. Cols
+// is nil for the common identity layout (variable i at column i); atoms with
+// constants, anonymous `_` columns, or repeated variables carry an explicit
+// mapping.
+func (a Atom) VarCol(i int) int {
+	if a.Cols == nil {
+		return i
+	}
+	return a.Cols[i]
+}
+
+// NumCols returns how many relation columns the atom spans: enough to cover
+// every bound variable and every predicate column. The relation's actual
+// arity may exceed this (trailing columns the query never mentions).
+func (a Atom) NumCols() int {
+	n := 0
+	for i := range a.Vars {
+		if c := a.VarCol(i); c+1 > n {
+			n = c + 1
+		}
+	}
+	for _, p := range a.Preds {
+		if p.Col+1 > n {
+			n = p.Col + 1
+		}
+		if p.Op == PredColEq && p.Col2+1 > n {
+			n = p.Col2 + 1
+		}
+	}
+	return n
+}
+
+// String renders the atom in the parseable CQ syntax: one term per spanned
+// column (the bound variable's name, or `_` for a column only predicates
+// touch), then ` | ` and the predicate list. Atoms without predicates or
+// column mapping render exactly as before this layer existed — `R(x,y)` —
+// keeping plan-cache keys for the existing query surface byte-stable.
+func (a Atom) String() string {
+	var sb strings.Builder
+	sb.WriteString(a.Rel)
+	sb.WriteByte('(')
+	n := a.NumCols()
+	terms := make([]string, n)
+	for i := range terms {
+		terms[i] = "_"
+	}
+	for i, v := range a.Vars {
+		terms[a.VarCol(i)] = v
+	}
+	for i, t := range terms {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(t)
+	}
+	if len(a.Preds) > 0 {
+		sb.WriteString(" | ")
+		for i, p := range a.Preds {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(p.String())
+		}
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// ScanPreds compiles the atom's predicates against rel: column positions are
+// bounds-checked (including the variable binding columns, so a too-narrow
+// relation is caught here rather than as an index panic mid-scan), constants
+// are type-checked against the column's logical type and interned through
+// rel's dictionary into physical comparison codes. A never-seen equality
+// constant interns a fresh code no row carries — it simply matches nothing.
+// Returns nil for a predicate-free atom.
+func (a Atom) ScanPreds(rel *relation.Relation) ([]relation.ScanPred, error) {
+	arity := rel.Arity()
+	for i := range a.Vars {
+		if c := a.VarCol(i); c < 0 || c >= arity {
+			return nil, fmt.Errorf("atom %s: variable %s binds column %d but relation %s has arity %d",
+				a, a.Vars[i], c+1, rel.Name, arity)
+		}
+	}
+	if len(a.Preds) == 0 {
+		return nil, nil
+	}
+	out := make([]relation.ScanPred, 0, len(a.Preds))
+	for _, p := range a.Preds {
+		sp, err := compilePred(a, rel, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+func compilePred(a Atom, rel *relation.Relation, p Pred) (relation.ScanPred, error) {
+	arity := rel.Arity()
+	if p.Col < 0 || p.Col >= arity {
+		return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s references column %d but relation %s has arity %d",
+			a, p, p.Col+1, rel.Name, arity)
+	}
+	if p.Op == PredColEq {
+		if p.Col2 < 0 || p.Col2 >= arity {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s references column %d but relation %s has arity %d",
+				a, p, p.Col2+1, rel.Name, arity)
+		}
+		if p.Col == p.Col2 {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s compares column %d with itself", a, p, p.Col+1)
+		}
+		if rel.ColType(p.Col) != rel.ColType(p.Col2) {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s compares %s column %s with %s column %s of %s",
+				a, p, rel.ColType(p.Col), rel.Attrs[p.Col], rel.ColType(p.Col2), rel.Attrs[p.Col2], rel.Name)
+		}
+		return relation.ScanPred{Col: p.Col, Op: relation.CmpColEq, Col2: p.Col2}, nil
+	}
+	op, ordered := cmpOp(p.Op)
+	switch t := rel.ColType(p.Col); t {
+	case relation.TypeInt64:
+		if p.Val.Kind != TermInt {
+			return relation.ScanPred{}, typeMismatch(a, rel, p, t)
+		}
+		return relation.ScanPred{Col: p.Col, Op: op, Code: p.Val.Int}, nil
+	case relation.TypeFloat64:
+		if rel.Dict == nil {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s on float64 column %s of %s: relation has no dictionary",
+				a, p, rel.Attrs[p.Col], rel.Name)
+		}
+		var f float64
+		switch p.Val.Kind {
+		case TermFloat:
+			f = p.Val.Float
+		case TermInt:
+			if !relation.IntFitsFloat64(p.Val.Int) {
+				return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s: integer constant %d does not fit the float64 column %s of %s exactly",
+					a, p, p.Val.Int, rel.Attrs[p.Col], rel.Name)
+			}
+			f = float64(p.Val.Int)
+		default:
+			return relation.ScanPred{}, typeMismatch(a, rel, p, t)
+		}
+		if ordered {
+			// Ordered comparisons must see logical floats: dictionary codes
+			// are dense intern ids in first-seen order, not value order.
+			return relation.ScanPred{Col: p.Col, Op: op, F: f, Float: true}, nil
+		}
+		return relation.ScanPred{Col: p.Col, Op: op, Code: rel.Dict.EncodeFloat(f)}, nil
+	case relation.TypeString:
+		if ordered {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s: ordered comparison on string column %s of %s is not supported",
+				a, p, rel.Attrs[p.Col], rel.Name)
+		}
+		if p.Val.Kind != TermString {
+			return relation.ScanPred{}, typeMismatch(a, rel, p, t)
+		}
+		if rel.Dict == nil {
+			return relation.ScanPred{}, fmt.Errorf("atom %s: predicate %s on string column %s of %s: relation has no dictionary",
+				a, p, rel.Attrs[p.Col], rel.Name)
+		}
+		return relation.ScanPred{Col: p.Col, Op: op, Code: rel.Dict.EncodeString(p.Val.Str)}, nil
+	default:
+		return relation.ScanPred{}, typeMismatch(a, rel, p, t)
+	}
+}
+
+func typeMismatch(a Atom, rel *relation.Relation, p Pred, t relation.Type) error {
+	return fmt.Errorf("atom %s: predicate %s: constant %s does not match the %s column %s of %s",
+		a, p, p.Val, t, rel.Attrs[p.Col], rel.Name)
+}
+
+func cmpOp(op PredOp) (cmp relation.CmpOp, ordered bool) {
+	switch op {
+	case PredEq:
+		return relation.CmpEq, false
+	case PredNe:
+		return relation.CmpNe, false
+	case PredLt:
+		return relation.CmpLt, true
+	case PredLe:
+		return relation.CmpLe, true
+	case PredGt:
+		return relation.CmpGt, true
+	case PredGe:
+		return relation.CmpGe, true
+	}
+	panic(fmt.Sprintf("query: cmpOp(%v)", op))
+}
+
+// NumPreds returns the total predicate count across the query's atoms — the
+// number surfaced in PlanInfo and the server plan JSON.
+func (q *CQ) NumPreds() int {
+	n := 0
+	for _, a := range q.Atoms {
+		n += len(a.Preds)
+	}
+	return n
+}

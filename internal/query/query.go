@@ -9,13 +9,24 @@ import (
 	"sort"
 )
 
-// Atom is one query atom R(x1,...,xk): a relation name plus a variable list.
-// Repeated relation names across atoms express self-joins; repeating a
-// variable inside one atom is not supported (the paper factors such selections
-// into a preprocessing step).
+// Atom is one query atom R(x1,...,xk): a relation name plus a variable list,
+// optionally restricted by selection predicates. Repeated relation names
+// across atoms express self-joins. Vars holds *distinct* variables; an atom
+// whose written form repeats a variable, mentions a constant, or skips a
+// column with `_` carries an explicit Cols mapping (Cols[i] = the relation
+// column bound by Vars[i]) plus Preds — the paper's selection preprocessing
+// step, lowered to filtered scans instead of materialized copies.
 type Atom struct {
 	Rel  string
 	Vars []string
+	// Cols maps variable index to relation column. Nil means the identity
+	// mapping (variable i binds column i), the layout of every atom written
+	// without constants, `_`, or repeats — kept nil so such atoms stay
+	// byte-identical in String() and therefore in plan-cache keys.
+	Cols []int
+	// Preds are the selection predicates on this atom's relation, pushed
+	// down into the scan by the engine routes.
+	Preds []Pred
 }
 
 // CQ is a conjunctive query Q(Free) :- Atoms. A nil/empty Free means the query
@@ -88,14 +99,7 @@ func (q *CQ) String() string {
 		if i > 0 {
 			s += ", "
 		}
-		s += a.Rel + "("
-		for j, v := range a.Vars {
-			if j > 0 {
-				s += ","
-			}
-			s += v
-		}
-		s += ")"
+		s += a.String()
 	}
 	return s
 }

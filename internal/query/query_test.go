@@ -43,11 +43,11 @@ func TestAcyclicity(t *testing.T) {
 		{CycleQuery(6), false},
 		// alpha-acyclic even though it "looks" like a triangle plus cover
 		{NewCQ("covered", nil,
-			Atom{"R", []string{"a", "b"}},
-			Atom{"S", []string{"b", "c"}},
-			Atom{"T", []string{"a", "c"}},
-			Atom{"U", []string{"a", "b", "c"}}), true},
-		{NewCQ("single", nil, Atom{"R", []string{"a", "b"}}), true},
+			Atom{Rel: "R", Vars: []string{"a", "b"}},
+			Atom{Rel: "S", Vars: []string{"b", "c"}},
+			Atom{Rel: "T", Vars: []string{"a", "c"}},
+			Atom{Rel: "U", Vars: []string{"a", "b", "c"}}), true},
+		{NewCQ("single", nil, Atom{Rel: "R", Vars: []string{"a", "b"}}), true},
 	}
 	for _, c := range cases {
 		if got := IsAcyclic(c.q); got != c.want {
@@ -59,10 +59,10 @@ func TestAcyclicity(t *testing.T) {
 func TestJoinTreeValid(t *testing.T) {
 	for _, q := range []*CQ{PathQuery(3), PathQuery(7), StarQuery(6), CartesianQuery(3),
 		NewCQ("mixed", nil,
-			Atom{"R", []string{"a", "b"}},
-			Atom{"S", []string{"b", "c", "d"}},
-			Atom{"T", []string{"c", "e"}},
-			Atom{"U", []string{"d", "f"}},
+			Atom{Rel: "R", Vars: []string{"a", "b"}},
+			Atom{Rel: "S", Vars: []string{"b", "c", "d"}},
+			Atom{Rel: "T", Vars: []string{"c", "e"}},
+			Atom{Rel: "U", Vars: []string{"d", "f"}},
 		)} {
 		tr, err := BuildJoinTree(q)
 		if err != nil {
@@ -136,22 +136,22 @@ func TestFreeConnex(t *testing.T) {
 	}
 	// endpoint projection of a 2-path: Q(x1) :- R1(x1,x2), R2(x2,x3)
 	q1 := NewCQ("q1", []string{"x1"},
-		Atom{"R1", []string{"x1", "x2"}}, Atom{"R2", []string{"x2", "x3"}})
+		Atom{Rel: "R1", Vars: []string{"x1", "x2"}}, Atom{Rel: "R2", Vars: []string{"x2", "x3"}})
 	if !IsFreeConnex(q1) {
 		t.Fatal("q1 should be free-connex")
 	}
 	// matrix multiplication: Q(x1,x3) :- R1(x1,x2), R2(x2,x3) — NOT free-connex
 	q2 := NewCQ("q2", []string{"x1", "x3"},
-		Atom{"R1", []string{"x1", "x2"}}, Atom{"R2", []string{"x2", "x3"}})
+		Atom{Rel: "R1", Vars: []string{"x1", "x2"}}, Atom{Rel: "R2", Vars: []string{"x2", "x3"}})
 	if IsFreeConnex(q2) {
 		t.Fatal("matrix multiplication must not be free-connex")
 	}
 	// Example 19 from the paper
 	q3 := NewCQ("ex19", []string{"y1", "y2", "y3", "y4"},
-		Atom{"R1", []string{"y1", "y2"}},
-		Atom{"R2", []string{"y2", "y3"}},
-		Atom{"R3", []string{"x1", "y1", "y4"}},
-		Atom{"R4", []string{"x2", "y3"}})
+		Atom{Rel: "R1", Vars: []string{"y1", "y2"}},
+		Atom{Rel: "R2", Vars: []string{"y2", "y3"}},
+		Atom{Rel: "R3", Vars: []string{"x1", "y1", "y4"}},
+		Atom{Rel: "R4", Vars: []string{"x2", "y3"}})
 	if !IsFreeConnex(q3) {
 		t.Fatal("Example 19 query should be free-connex")
 	}
@@ -163,10 +163,10 @@ func TestFreeConnex(t *testing.T) {
 
 func TestConnexPlanExample19(t *testing.T) {
 	q := NewCQ("ex19", []string{"y1", "y2", "y3", "y4"},
-		Atom{"R1", []string{"y1", "y2"}},
-		Atom{"R2", []string{"y2", "y3"}},
-		Atom{"R3", []string{"x1", "y1", "y4"}},
-		Atom{"R4", []string{"x2", "y3"}})
+		Atom{Rel: "R1", Vars: []string{"y1", "y2"}},
+		Atom{Rel: "R2", Vars: []string{"y2", "y3"}},
+		Atom{Rel: "R3", Vars: []string{"x1", "y1", "y4"}},
+		Atom{Rel: "R4", Vars: []string{"x2", "y3"}})
 	p, err := ConnexPlan(q)
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestConnexPlanSimpleProjection(t *testing.T) {
 	// Q(x1) :- R1(x1,x2), R2(x2,x3): one existential component {R1? no —
 	// R1 is mixed (x1 free, x2 existential), R2 purely existential}.
 	q := NewCQ("q", []string{"x1"},
-		Atom{"R1", []string{"x1", "x2"}}, Atom{"R2", []string{"x2", "x3"}})
+		Atom{Rel: "R1", Vars: []string{"x1", "x2"}}, Atom{Rel: "R2", Vars: []string{"x2", "x3"}})
 	p, err := ConnexPlan(q)
 	if err != nil {
 		t.Fatal(err)
@@ -216,7 +216,7 @@ func TestConnexPlanSimpleProjection(t *testing.T) {
 func TestConnexPlanRejectsUnsupported(t *testing.T) {
 	// two mixed atoms sharing an existential var
 	q := NewCQ("q", []string{"y1", "y2"},
-		Atom{"R1", []string{"y1", "x"}}, Atom{"R2", []string{"x", "y2"}})
+		Atom{Rel: "R1", Vars: []string{"y1", "x"}}, Atom{Rel: "R2", Vars: []string{"x", "y2"}})
 	if _, err := ConnexPlan(q); err == nil {
 		t.Fatal("expected rejection (not free-connex / multi-anchor)")
 	}
@@ -228,7 +228,7 @@ func TestGYORandomAcyclicAlwaysVerifies(t *testing.T) {
 	for trial := 0; trial < 100; trial++ {
 		n := 2 + r.Intn(6)
 		atoms := make([]Atom, n)
-		atoms[0] = Atom{"R0", []string{"v0", "v0b"}}
+		atoms[0] = Atom{Rel: "R0", Vars: []string{"v0", "v0b"}}
 		next := 1
 		for i := 1; i < n; i++ {
 			p := r.Intn(i)

@@ -169,6 +169,10 @@ func New(sessions *Manager, logger *slog.Logger) *Server {
 		func() float64 { return float64(s.resourceStats().dictStrings) }, "kind", "string")
 	reg.GaugeFunc("anykd_dict_entries", "Dictionary-encoded values held, by kind.",
 		func() float64 { return float64(s.resourceStats().dictFloats) }, "kind", "float")
+	reg.GaugeFunc("anykd_index_entries", "Live memoized derived structures (indexes, permutations, tries) over stored relations.",
+		func() float64 { return float64(s.resourceStats().indexEntries) })
+	reg.GaugeFunc("anykd_filtered_index_entries", "Memoized derived structures serving filtered (predicate-pushdown) access paths.",
+		func() float64 { return float64(s.resourceStats().filteredIndexEntries) })
 	// Lifecycle logging for evictions: the manager fires this under its lock,
 	// so it must stay log-only.
 	if sessions.OnEvict == nil {
@@ -183,11 +187,13 @@ func New(sessions *Manager, logger *slog.Logger) *Server {
 // resourceFootprint aggregates the dataset registry's resident state for the
 // resource gauges.
 type resourceFootprint struct {
-	datasets    int
-	rows        int64
-	bytes       int64
-	dictStrings int64
-	dictFloats  int64
+	datasets             int
+	rows                 int64
+	bytes                int64
+	dictStrings          int64
+	dictFloats           int64
+	indexEntries         int64
+	filteredIndexEntries int64
 }
 
 // resourceStats walks the dataset registry, counting aliased relations and
@@ -208,6 +214,9 @@ func (s *Server) resourceStats() resourceFootprint {
 			seenRel[rel] = true
 			f.rows += int64(rel.Size())
 			f.bytes += rel.SizeBytes()
+			total, filtered := rel.IndexEntries()
+			f.indexEntries += total
+			f.filteredIndexEntries += filtered
 		}
 		if d := entry.db.Dict(); d != nil && !seenDict[d] {
 			seenDict[d] = true
@@ -921,15 +930,18 @@ func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
 // registry /metrics scrapes, so the two surfaces can never disagree.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cs := s.cacheStats()
+	rf := s.resourceStats()
 	resp := MetricsResponse{
-		DatasetsCreated:  s.datasetsCreated.Value(),
-		SessionsCreated:  s.Sessions.Created(),
-		SessionsEvicted:  s.Sessions.Evicted(),
-		SessionsLive:     s.Sessions.Len(),
-		RowsServed:       s.rowsServed.Value(),
-		PlanCacheHits:    cs.Hits,
-		PlanCacheMisses:  cs.Misses,
-		PlanCacheEntries: cs.Entries,
+		DatasetsCreated:      s.datasetsCreated.Value(),
+		SessionsCreated:      s.Sessions.Created(),
+		SessionsEvicted:      s.Sessions.Evicted(),
+		SessionsLive:         s.Sessions.Len(),
+		RowsServed:           s.rowsServed.Value(),
+		PlanCacheHits:        cs.Hits,
+		PlanCacheMisses:      cs.Misses,
+		PlanCacheEntries:     cs.Entries,
+		IndexEntries:         rf.indexEntries,
+		FilteredIndexEntries: rf.filteredIndexEntries,
 	}
 	for _, fam := range s.Reg.Snapshot() {
 		switch fam.Name {

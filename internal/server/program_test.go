@@ -84,8 +84,8 @@ func TestProgramSessionErrors(t *testing.T) {
 			`only one of "query", "datalog", and "program"`},
 		{"lex", QueryRequest{Dataset: "d", Program: "?- R1(x, y).", Dioid: "lex"},
 			"scalar dioids only"},
-		{"parse", QueryRequest{Dataset: "d", Program: "p(x) :- R1(x, x).\n?- p(x)."},
-			"line 1: repeated variable x"},
+		{"parse", QueryRequest{Dataset: "d", Program: "p(x, x) :- R1(x, y).\n?- p(x, x)."},
+			"line 1: repeated variable x in head"},
 		{"unstratifiable", QueryRequest{Dataset: "d", Program: "win(x) :- R1(x, y), ! win(y).\n?- win(x)."},
 			"unstratifiable"},
 		{"unknown-pred", QueryRequest{Dataset: "d", Program: "p(x, y) :- nosuch(x, y).\n?- p(x, y)."},

@@ -391,6 +391,19 @@ func TestMetricsAndHealth(t *testing.T) {
 		t.Fatalf("metrics %+v", m)
 	}
 
+	// A query with a pushed-down predicate builds memoized filtered access
+	// structures; both index gauges must pick them up.
+	fq := mustOpenQuery(t, ts.URL, QueryRequest{Dataset: "d", Datalog: "q(*) :- R1(x, y | x >= 0)"})
+	nextPage(t, ts.URL, fq.ID, 3)
+	var m2 MetricsResponse
+	if st := doJSON(t, http.MethodGet, ts.URL+"/v1/metrics", nil, &m2); st != http.StatusOK {
+		t.Fatalf("metrics: status %d", st)
+	}
+	if m2.FilteredIndexEntries < 1 || m2.IndexEntries < m2.FilteredIndexEntries {
+		t.Fatalf("index gauges %d/%d after filtered query, want filtered >= 1 and total >= filtered",
+			m2.IndexEntries, m2.FilteredIndexEntries)
+	}
+
 	var h map[string]string
 	if st := doJSON(t, http.MethodGet, ts.URL+"/healthz", nil, &h); st != http.StatusOK || h["status"] != "ok" {
 		t.Fatalf("healthz: %d %v", st, h)

@@ -175,6 +175,12 @@ type MetricsResponse struct {
 	PlanCacheHits    int64 `json:"plan_cache_hits"`
 	PlanCacheMisses  int64 `json:"plan_cache_misses"`
 	PlanCacheEntries int   `json:"plan_cache_entries"`
+	// IndexEntries counts live memoized derived structures (group indexes,
+	// sorted permutations, join tries) across all stored relations;
+	// FilteredIndexEntries is the subset serving filtered access paths —
+	// structures whose memo key carries the predicate-pushdown "flt|" marker.
+	IndexEntries         int64 `json:"index_entries"`
+	FilteredIndexEntries int64 `json:"filtered_index_entries"`
 	// PanicsRecovered counts handler panics the middleware turned into 500s.
 	PanicsRecovered int64 `json:"panics_recovered"`
 	// AdmissionRejected counts requests turned away with 429 by the session

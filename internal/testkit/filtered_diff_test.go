@@ -1,0 +1,121 @@
+package testkit
+
+import (
+	"math/rand"
+	"testing"
+
+	"anyk/internal/dioid"
+	"anyk/internal/engine"
+	"anyk/internal/query"
+	"anyk/internal/relation"
+)
+
+// withRandomPreds copies q with a random integer selection predicate attached
+// to most atoms (one in three stays unfiltered, so mixed plans are covered).
+// Constants are drawn from the instance domain, so predicates are selective
+// without being vacuous.
+func withRandomPreds(r *rand.Rand, q *query.CQ, dom int) *query.CQ {
+	ops := []query.PredOp{query.PredEq, query.PredNe, query.PredLt, query.PredLe, query.PredGt, query.PredGe}
+	atoms := make([]query.Atom, len(q.Atoms))
+	copy(atoms, q.Atoms)
+	for i := range atoms {
+		if r.Intn(3) == 0 {
+			continue
+		}
+		a := atoms[i]
+		a.Preds = []query.Pred{{
+			Col: a.VarCol(r.Intn(len(a.Vars))),
+			Op:  ops[r.Intn(len(ops))],
+			Val: query.Term{Kind: query.TermInt, Int: int64(r.Intn(dom))},
+		}}
+		atoms[i] = a
+	}
+	return query.NewCQ(q.Name+"flt", q.Free, atoms...)
+}
+
+// filteredInstance draws a family instance with a known domain and attaches
+// random predicates.
+func filteredInstance(t *testing.T, family string, r *rand.Rand) (*query.CQ, *relation.DB) {
+	t.Helper()
+	var q *query.CQ
+	switch family {
+	case "path":
+		q = query.PathQuery(3 + r.Intn(3))
+	case "star":
+		q = query.StarQuery(3 + r.Intn(3))
+	case "cycle":
+		q = query.CycleQuery(4 + 2*r.Intn(2))
+	case "clique":
+		q = query.CliqueQuery(4)
+	default:
+		t.Fatalf("unknown family %q", family)
+	}
+	dom := 3 + r.Intn(3)
+	db := RandomDB(r, q, 8+r.Intn(12), dom)
+	return withRandomPreds(r, q, dom), db
+}
+
+// TestFilteredDifferentialRoutes runs the pushdown-vs-materialized-twin
+// differential on every decomposition route: path and star exercise the
+// acyclic join-tree route, cycle the simple-cycle heavy/light union, and
+// clique the GHD planner. Bit-identical streams — order, weights, and tie
+// resolution — across algorithms, parallelism, and plan caching.
+func TestFilteredDifferentialRoutes(t *testing.T) {
+	r := rand.New(rand.NewSource(5001))
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				q, db := filteredInstance(t, fam, r)
+				DiffFilteredTwin(t, q, db, dioid.Tropical{}, engine.AllWeights, 1, 2, 4)
+			}
+		})
+	}
+}
+
+// TestFilteredDifferentialLex repeats the twin differential under the
+// lexicographic dioid: vector weights flow through the filtered scans and
+// tie-handling must still match the materialized twin exactly. (The Tie
+// dioid is out of scope by design — it embeds row ids, which the twin
+// renumbers.)
+func TestFilteredDifferentialLex(t *testing.T) {
+	r := rand.New(rand.NewSource(5002))
+	for _, fam := range []string{"path", "cycle"} {
+		q, db := filteredInstance(t, fam, r)
+		DiffFilteredTwin(t, q, db, dioid.NewLex(len(q.Atoms)), engine.AllWeights, 1, 4)
+	}
+}
+
+// TestFilteredDifferentialProjected covers the free-connex MinWeight route:
+// predicates on a projected query must commute with the Plus-fold over
+// pruned witnesses.
+func TestFilteredDifferentialProjected(t *testing.T) {
+	r := rand.New(rand.NewSource(5003))
+	for trial := 0; trial < 3; trial++ {
+		q := query.PathQuery(3 + r.Intn(3))
+		free := q.Vars()[:1+r.Intn(2)]
+		dom := 3 + r.Intn(3)
+		db := RandomDB(r, q, 8+r.Intn(12), dom)
+		fq := withRandomPreds(r, query.NewCQ(q.Name+"proj", free, q.Atoms...), dom)
+		if !query.IsFreeConnex(fq) {
+			t.Fatalf("%s is not free-connex", fq)
+		}
+		DiffFilteredTwin(t, fq, db, dioid.Tropical{}, engine.MinWeight, 1, 2, 4)
+	}
+}
+
+// TestRepeatedVariableTwin pins the repeated-variable lowering: an atom with
+// a repeated variable (now a column-equality predicate) must enumerate
+// bit-identically to a hand-deduplicated twin whose relation keeps only the
+// diagonal rows. FilteredTwin materializes exactly that twin.
+func TestRepeatedVariableTwin(t *testing.T) {
+	r := rand.New(rand.NewSource(5004))
+	q, err := query.Parse("q(*) :- R1(x, x, y), R2(y, z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		db := RandomDB(r, q, 20, 3)
+		DiffFilteredTwin(t, q, db, dioid.Tropical{}, engine.AllWeights, 1, 4)
+	}
+}

@@ -65,7 +65,7 @@ func RandomDB(r *rand.Rand, q *query.CQ, rows, dom int) *relation.DB {
 		if db.Relation(a.Rel) != nil {
 			continue
 		}
-		attrs := make([]string, len(a.Vars))
+		attrs := make([]string, a.NumCols())
 		for i := range attrs {
 			attrs[i] = fmt.Sprintf("A%d", i+1)
 		}
@@ -335,6 +335,85 @@ func DiffTypedTwin[W any](t testing.TB, q *query.CQ, typedDB, twinDB *relation.D
 	}
 	if ts.Hits == 0 {
 		t.Fatalf("%s: warm runs never hit the plan cache (stats %+v)", q.Name, ts)
+	}
+}
+
+// FilteredTwin materializes q's selection predicates away: every atom with
+// predicates gets a fresh relation holding exactly its qualifying rows (in
+// the original scan order, sharing the source dictionary so physical codes
+// are preserved), and the twin query references those relations with the
+// predicates stripped. Because FilterScan yields row ids in ascending order,
+// the pushdown engine sees stage-input sequences elementwise identical to the
+// twin's, so every algorithm must produce bit-identical ranked streams over
+// the two — the correctness contract of predicate pushdown.
+//
+// Row-id–dependent dioids (Tie) are out of scope: the twin renumbers rows, so
+// Lift sees different ids by construction. Use scalar dioids or Lex.
+func FilteredTwin(t testing.TB, q *query.CQ, db *relation.DB) (*query.CQ, *relation.DB) {
+	t.Helper()
+	twinDB := db.Clone()
+	atoms := make([]query.Atom, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = query.Atom{Rel: a.Rel, Vars: a.Vars, Cols: a.Cols}
+		if len(a.Preds) == 0 {
+			continue
+		}
+		src := db.Relation(a.Rel)
+		if src == nil {
+			t.Fatalf("testkit: relation %s missing from instance db", a.Rel)
+		}
+		preds, err := a.ScanPreds(src)
+		if err != nil {
+			t.Fatalf("testkit: compile predicates of %s: %v", a, err)
+		}
+		dict := src.Dict
+		if dict == nil {
+			dict = twinDB.Dict()
+		}
+		types := make([]relation.Type, src.Arity())
+		for c := range types {
+			types[c] = src.ColType(c)
+		}
+		name := fmt.Sprintf("%s_flt%d", a.Rel, i)
+		flt, err := relation.NewTyped(name, dict, src.Attrs, types)
+		if err != nil {
+			t.Fatalf("testkit: twin relation %s: %v", name, err)
+		}
+		for j := 0; j < src.Size(); j++ {
+			if src.MatchRow(j, preds) {
+				flt.Add(src.Weights[j], src.Row(j)...)
+			}
+		}
+		twinDB.AddRelation(flt)
+		atoms[i].Rel = name
+	}
+	return query.NewCQ(q.Name+"twin", q.Free, atoms...), twinDB
+}
+
+// DiffFilteredTwin runs the pushdown differential: for every ranked algorithm
+// at every parallelism in ps, enumeration of q with predicates pushed into
+// the scans must be bit-identical — order, weights, and tie resolution — to
+// enumeration of the pre-materialized FilteredTwin, uncached and through a
+// compiled-plan cache (cold and warm, separate caches per side).
+func DiffFilteredTwin[W any](t testing.TB, q *query.CQ, db *relation.DB, d dioid.Dioid[W], sem engine.Semantics, ps ...int) {
+	t.Helper()
+	if len(ps) == 0 {
+		ps = []int{1, 2, 4}
+	}
+	tq, twinDB := FilteredTwin(t, q, db)
+	pushCache, twinCache := engine.NewCache(0), engine.NewCache(0)
+	for _, alg := range core.Algorithms {
+		for _, p := range ps {
+			label := fmt.Sprintf("%s/%v/p=%d", q.Name, alg, p)
+			ref := CollectOpt(t, twinDB, tq, d, alg, engine.Options{Parallelism: p, Semantics: sem})
+			got := CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: p, Semantics: sem})
+			CompareExact(t, label+"/uncached", d, got, ref)
+			for _, run := range []string{"cold", "warm"} {
+				got := CollectOpt(t, db, q, d, alg, engine.Options{Parallelism: p, Semantics: sem, Cache: pushCache})
+				ref := CollectOpt(t, twinDB, tq, d, alg, engine.Options{Parallelism: p, Semantics: sem, Cache: twinCache})
+				CompareExact(t, label+"/"+run, d, got, ref)
+			}
+		}
 	}
 }
 
